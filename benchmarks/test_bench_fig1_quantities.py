@@ -1,0 +1,43 @@
+"""Benchmark: Figure 1 — streaming network traffic quantities.
+
+Times the extraction of the five per-entity quantities (source packets,
+source fan-out, link packets, destination fan-in, destination packets) from
+one ``N_V = 10^5`` window and prints the quantity breakdown the figure
+illustrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_fig1
+from repro.experiments.config import default_palu_parameters
+from repro.generators.palu_graph import generate_palu_graph
+from repro.streaming.aggregates import network_quantities
+from repro.streaming.sparse_image import traffic_image
+from repro.streaming.trace_generator import generate_trace
+from repro.streaming.window import iter_windows
+
+
+def test_fig1_reproduction(run_once):
+    rows = run_once(run_fig1, n_valid=100_000, n_nodes=20_000, rng=1)
+    by_name = {r["quantity"]: r for r in rows}
+    assert by_name["source_packets"]["total"] == 100_000
+    assert by_name["destination_packets"]["total"] == 100_000
+    assert by_name["link_packets"]["total"] == 100_000
+    print()
+    for row in rows:
+        print("Figure 1:", row)
+
+
+@pytest.fixture(scope="module")
+def window_image():
+    params = default_palu_parameters()
+    graph = generate_palu_graph(params, n_nodes=20_000, rng=2)
+    trace = generate_trace(graph.graph, 105_000, rate_model="zipf", rng=3)
+    return traffic_image(next(iter_windows(trace, 100_000)))
+
+
+def test_quantity_extraction_kernel(benchmark, window_image):
+    quantities = benchmark(network_quantities, window_image)
+    assert quantities["source_packets"].sum() == 100_000

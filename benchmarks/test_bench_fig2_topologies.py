@@ -1,0 +1,37 @@
+"""Benchmark: Figure 2 — traffic network topologies.
+
+Times the topology decomposition (supernodes / supernode leaves / core /
+core leaves / unattached links) of observed PALU networks across the class
+mixes of the Figure-2 reproduction, plus the PALU graph generator itself.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.topology import decompose_topology
+from repro.experiments import run_fig2
+from repro.experiments.config import default_palu_parameters
+from repro.generators.palu_graph import generate_palu_graph
+from repro.generators.sampling import sample_edges
+
+
+def test_fig2_reproduction(run_once):
+    rows = run_once(run_fig2, n_nodes=20_000, p=0.6, rng=1)
+    by_mix = {r["mix"]: r for r in rows}
+    assert by_mix["bot-heavy"]["n_unattached_links"] > by_mix["core-heavy"]["n_unattached_links"]
+    print()
+    for row in rows:
+        print("Figure 2:", row)
+
+
+def test_palu_graph_generation_kernel(benchmark):
+    params = default_palu_parameters()
+    palu = benchmark(generate_palu_graph, params, 30_000, rng=2)
+    assert palu.n_nodes >= 30_000 * 0.9
+
+
+def test_topology_decomposition_kernel(benchmark):
+    params = default_palu_parameters()
+    palu = generate_palu_graph(params, n_nodes=30_000, rng=3)
+    observed = sample_edges(palu.graph, 0.6, rng=4)
+    decomposition = benchmark(decompose_topology, observed)
+    assert decomposition.n_nodes > 0

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 4 — PALU model curve families versus Zipf–Mandelbrot.
+
+Regenerates the paper's five (α, δ) panels with their exact r sweeps and
+times both the full-figure sweep and the single-curve kernel of Equation (5).
+The printed rows give, for every (panel, r), the log-space distance to the
+ZM reference — the quantitative form of the figure's visual convergence.
+"""
+
+from __future__ import annotations
+
+from repro.core.palu_zm_connection import FIG4_PANELS, palu_zm_differential_cumulative
+from repro.experiments import run_fig4
+
+
+def test_fig4_reproduction(run_once):
+    rows = run_once(run_fig4, dmax=100_000)
+    panels = {(r["panel_alpha"], r["panel_delta"]) for r in rows}
+    assert len(panels) == 5
+    for alpha, delta in panels:
+        errors = [
+            r["log_mse_vs_ZM"]
+            for r in rows
+            if r["panel_alpha"] == alpha and r["panel_delta"] == delta
+        ]
+        assert errors[-1] < errors[0]
+    print()
+    for row in rows:
+        print("Figure 4:", row)
+
+
+def test_equation_five_curve_kernel(benchmark):
+    alpha, delta, r_values = FIG4_PANELS[2]
+    pooled = benchmark(palu_zm_differential_cumulative, 1_000_000, alpha, delta, r_values[-1])
+    assert abs(pooled.probability_sum() - 1.0) < 1e-9

@@ -1,0 +1,40 @@
+"""Benchmark: Section IV — observed-network expectations versus simulation.
+
+Times the expectation-vs-simulation sweep (generate a PALU network, edge
+sample it at several p, compare measured class fractions, unattached-link
+fraction, and degree-1 fraction against the closed-form predictions) and the
+closed-form evaluation kernels themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.palu_model import expected_degree_fractions
+from repro.experiments import run_palu_expectations
+from repro.experiments.config import default_palu_parameters
+
+
+def test_palu_expectation_sweep(run_once):
+    rows = run_once(run_palu_expectations, n_nodes=60_000, p_values=(0.25, 0.5, 0.75, 1.0), rng=1)
+    assert len(rows) == 4
+    for row in rows:
+        assert row["V_pred"] == 0.0 or abs(row["V_pred"] - row["V_sim"]) / row["V_sim"] < 0.15
+        assert abs(row["deg1_pred"] - row["deg1_sim"]) < 0.1
+    print()
+    for row in rows:
+        print("Section IV expectations:", row)
+
+
+def test_expected_degree_fraction_kernel_paper(benchmark):
+    params = default_palu_parameters()
+    degrees = np.arange(1, 10_001)
+    fractions = benchmark(expected_degree_fractions, params, 0.5, degrees, method="paper")
+    assert fractions.shape == (10_000,)
+
+
+def test_expected_degree_fraction_kernel_exact(benchmark):
+    params = default_palu_parameters()
+    degrees = np.arange(1, 101)
+    fractions = benchmark(expected_degree_fractions, params, 0.5, degrees, method="exact")
+    assert fractions.shape == (100,)

@@ -1,0 +1,46 @@
+"""Benchmark: Section IV-B — reduced-parameter fitting and recovery.
+
+Times the parameter-recovery sweep (sample from a known reduced PALU law,
+run the three-step fitting recipe, invert back to underlying parameters) and
+the individual fitting kernels (the full recipe and the baseline power-law
+MLE) on a one-million-sample histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.histogram import degree_histogram
+from repro.core.palu_fit import fit_palu
+from repro.core.palu_model import degree_distribution
+from repro.core.powerlaw_fit import fit_power_law
+from repro.experiments import run_palu_recovery
+from repro.experiments.config import default_palu_parameters
+
+
+def test_palu_recovery_sweep(run_once):
+    rows = run_once(run_palu_recovery, p_values=(0.3, 0.6, 0.9), n_samples=1_000_000, rng=1)
+    assert len(rows) == 3
+    for row in rows:
+        assert abs(row["alpha_fit"] - row["alpha_true"]) < 0.2
+        assert abs(row["l_fit"] - row["l_true"]) / row["l_true"] < 0.25
+    print()
+    for row in rows:
+        print("Section IV-B recovery:", row)
+
+
+@pytest.fixture(scope="module")
+def sampled_histogram():
+    params = default_palu_parameters()
+    dist = degree_distribution(params, 0.5, dmax=50_000, form="poisson")
+    return degree_histogram(dist.sample(1_000_000, rng=2))
+
+
+def test_palu_fit_kernel(benchmark, sampled_histogram):
+    fit = benchmark(fit_palu, sampled_histogram)
+    assert 1.5 < fit.alpha < 2.5
+
+
+def test_power_law_mle_kernel(benchmark, sampled_histogram):
+    fit = benchmark(fit_power_law, sampled_histogram, d_min=10)
+    assert 1.5 < fit.alpha < 2.5

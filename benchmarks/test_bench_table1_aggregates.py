@@ -1,0 +1,55 @@
+"""Benchmark: Table I — aggregate network properties.
+
+Times the Table-I reproduction (synthetic windows aggregated into ``A_t``,
+both notations computed and cross-checked) and the underlying sparse-matrix
+aggregate kernels on a 10^5-packet window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.config import default_palu_parameters
+from repro.generators.palu_graph import generate_palu_graph
+from repro.streaming.aggregates import compute_aggregates, compute_aggregates_summation
+from repro.streaming.sparse_image import traffic_image
+from repro.streaming.trace_generator import generate_trace
+from repro.streaming.window import iter_windows
+
+
+def test_table1_reproduction(run_once):
+    rows = run_once(run_table1, window_sizes=(10_000, 100_000), n_nodes=20_000, rng=1)
+    assert all(row["notations_agree"] for row in rows)
+    assert all(row["valid_packets"] == row["NV"] for row in rows)
+    print()
+    for row in rows:
+        print("Table I:", row)
+
+
+@pytest.fixture(scope="module")
+def window_image():
+    params = default_palu_parameters()
+    graph = generate_palu_graph(params, n_nodes=20_000, rng=2)
+    trace = generate_trace(graph.graph, 105_000, rng=3)
+    window = next(iter_windows(trace, 100_000))
+    return traffic_image(window)
+
+
+def test_matrix_notation_kernel(benchmark, window_image):
+    agg = benchmark(compute_aggregates, window_image)
+    assert agg.valid_packets == 100_000
+
+
+def test_summation_notation_kernel(benchmark, window_image):
+    agg = benchmark(compute_aggregates_summation, window_image)
+    assert agg.valid_packets == 100_000
+
+
+def test_sparse_image_construction(benchmark):
+    params = default_palu_parameters()
+    graph = generate_palu_graph(params, n_nodes=20_000, rng=4)
+    trace = generate_trace(graph.graph, 105_000, rng=5)
+    window = next(iter_windows(trace, 100_000))
+    image = benchmark(traffic_image, window)
+    assert image.n_valid == 100_000

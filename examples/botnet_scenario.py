@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Botnet scenario: how unattached (bot-like) traffic distorts the degree laws.
+
+The paper's motivation (Section I) is that a growing share of observed
+traffic comes from bots — connections that "tend to form links only with
+similar (bot-like) connections", showing up as leaves and unattached links
+rather than as part of the preferential-attachment core.  This example:
+
+1. builds a *clean* world (core + leaves, no unattached stars) and a
+   *bot-heavy* world (same core, 40% of nodes in unattached stars),
+2. observes both through the same window and the same webcrawl,
+3. shows that the crawl barely notices the bots while the trunk view's
+   degree-1 mass and unattached-link count jump, and
+4. shows the fitted Zipf–Mandelbrot offset δ moving negative as the bot
+   share grows — the model's fingerprint of unattached traffic.
+
+Run with ``python examples/botnet_scenario.py``.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.summary import format_table
+from repro.analysis.topology import decompose_topology
+from repro.core.palu_zm_connection import delta_from_model
+from repro.generators.sampling import sample_edges, webcrawl_sample
+
+
+def observe(name: str, params: repro.PALUParameters, *, p: float, seed: int) -> dict:
+    """Build one world, observe it both ways, and summarise."""
+    palu = repro.generate_palu_graph(params, n_nodes=40_000, rng=seed)
+    trunk = sample_edges(palu.graph, p, rng=seed + 1)
+    crawl = webcrawl_sample(palu.graph, n_seeds=3)
+
+    trunk_hist = repro.degree_histogram([d for _, d in trunk.degree() if d > 0])
+    crawl_hist = repro.degree_histogram([d for _, d in crawl.degree() if d > 0])
+    trunk_fit = repro.fit_zipf_mandelbrot_histogram(trunk_hist)
+    crawl_fit = repro.fit_zipf_mandelbrot_histogram(crawl_hist)
+    decomposition = decompose_topology(trunk)
+
+    predicted_delta = delta_from_model(
+        params.core, params.unattached, params.lam, p, params.alpha
+    ) if params.unattached > 0 else 0.0
+
+    return {
+        "world": name,
+        "bot_share": round(params.unattached_node_fraction(), 3),
+        "trunk P(d=1)": round(trunk_hist.fraction_at(1), 3),
+        "crawl P(d=1)": round(crawl_hist.fraction_at(1), 3),
+        "unattached links": decomposition.n_unattached_links,
+        "trunk delta": round(trunk_fit.delta, 3),
+        "crawl delta": round(crawl_fit.delta, 3),
+        "predicted delta": round(predicted_delta, 3),
+        "trunk alpha": round(trunk_fit.alpha, 2),
+    }
+
+
+def main() -> None:
+    p = 0.6
+    clean = repro.PALUParameters.from_weights(0.70, 0.30, 0.0, lam=1.0, alpha=2.0)
+    mild = repro.PALUParameters.from_weights(0.55, 0.25, 0.20, lam=1.5, alpha=2.0)
+    bot_heavy = repro.PALUParameters.from_weights(0.35, 0.25, 0.40, lam=1.5, alpha=2.0)
+
+    rows = [
+        observe("clean (no bots)", clean, p=p, seed=31),
+        observe("mild bot traffic", mild, p=p, seed=32),
+        observe("bot-heavy", bot_heavy, p=p, seed=33),
+    ]
+    print(f"observation window p = {p}\n")
+    print(format_table(rows))
+    print(
+        "\nReading the table: the webcrawl view barely changes across worlds "
+        "(it never reaches the unattached components), while the trunk view's "
+        "degree-1 mass, unattached-link count, and fitted |δ| all grow with the "
+        "bot share — the distortion the PALU model was built to explain."
+    )
+
+
+if __name__ == "__main__":
+    main()

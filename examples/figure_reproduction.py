@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Runs the full experiment catalogue (Table I, Figures 1–4, the Section-IV
+expectation checks, the Section-IV-B recovery, and the three ablations) on
+laptop-scale synthetic workloads and prints the resulting rows.  This is the
+script behind EXPERIMENTS.md; the pytest-benchmark harnesses in
+``benchmarks/`` run the same drivers with timing attached.
+
+Run with ``python examples/figure_reproduction.py [--quick]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.summary import format_table
+from repro.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_lambda_estimator_ablation,
+    run_palu_expectations,
+    run_palu_recovery,
+    run_table1,
+    run_webcrawl_ablation,
+    run_window_invariance_ablation,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run a reduced sweep (fewer Figure-3 panels, smaller samples)",
+    )
+    args = parser.parse_args()
+    fig3_limit = 3 if args.quick else None
+    n_samples = 300_000 if args.quick else 1_000_000
+
+    section("Table I — aggregate network properties (matrix vs summation notation)")
+    print(format_table(run_table1()))
+
+    section("Figure 1 — streaming network quantities of one N_V window")
+    print(format_table(run_fig1()))
+
+    section("Figure 2 — traffic network topologies across class mixes")
+    print(format_table(run_fig2()))
+
+    section("Figure 3 — measured distributions and Zipf-Mandelbrot fits")
+    print(format_table(run_fig3(limit=fig3_limit, n_workers=4)))
+
+    section("Figure 4 — PALU curve families converging to Zipf-Mandelbrot")
+    print(format_table(run_fig4()))
+
+    section("Section IV — observed-network expectations vs simulation")
+    print(format_table(run_palu_expectations()))
+
+    section("Section IV-B — reduced-parameter recovery")
+    print(format_table(run_palu_recovery(n_samples=n_samples)))
+
+    section("Ablation — window-size invariance of the underlying parameters")
+    print(format_table(run_window_invariance_ablation(n_samples=n_samples)))
+
+    section("Ablation — Λ estimator variance (moment-ratio vs point-wise)")
+    print(format_table([run_lambda_estimator_ablation()]))
+
+    section("Ablation — webcrawl vs trunk-line observation")
+    print(format_table(run_webcrawl_ablation()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e . --no-use-pep517`` works on minimal offline environments
+that lack the ``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Internal utilities shared across :mod:`repro` subpackages.
+
+This package is private: nothing here is part of the public API and the
+contents may change between releases without notice.  The modules are kept
+deliberately small so that the scientific subpackages (``core``,
+``generators``, ``streaming``, ``analysis``) stay free of boilerplate.
+"""
+
+from repro._util.rng import as_generator, spawn_generators
+from repro._util.validation import (
+    check_fraction,
+    check_in_range,
+    check_integer_array,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_in_range",
+    "check_integer_array",
+    "check_nonnegative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability_vector",
+]

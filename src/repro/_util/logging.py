@@ -1,0 +1,40 @@
+"""Lightweight logging helpers.
+
+:mod:`repro` never configures the root logger; it only creates namespaced
+children under ``"repro"`` so that applications embedding the library keep
+full control over handlers and levels.  :func:`get_logger` is the single
+entry point used by the rest of the package.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "log_duration"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("streaming.pipeline")`` returns the logger named
+    ``"repro.streaming.pipeline"``.
+    """
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, message: str, *, level: int = logging.DEBUG) -> Iterator[None]:
+    """Context manager that logs the wall-clock duration of the enclosed block."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.log(level, "%s took %.3f s", message, elapsed)

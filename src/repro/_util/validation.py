@@ -1,0 +1,167 @@
+"""Argument validation helpers.
+
+Every public function in :mod:`repro` validates its scalar arguments eagerly
+so that misuse produces an immediate, descriptive :class:`ValueError` or
+:class:`TypeError` rather than a confusing numerical failure deep inside a
+vectorised kernel.  The helpers here centralise those checks and keep the
+error messages consistent.
+
+All helpers return the validated (and possibly coerced) value so they can be
+used inline::
+
+    alpha = check_positive(alpha, "alpha")
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_positive_int",
+    "check_fraction",
+    "check_in_range",
+    "check_probability_vector",
+    "check_integer_array",
+]
+
+
+def _is_real_scalar(value: object) -> bool:
+    """Return True when *value* is a real (non-complex, non-bool) scalar."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return True
+    return False
+
+
+def check_positive(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that *value* is a finite positive real scalar.
+
+    Parameters
+    ----------
+    value:
+        The scalar to validate.
+    name:
+        Parameter name used in error messages.
+    allow_zero:
+        If True, zero is accepted.
+
+    Returns
+    -------
+    float
+        The value converted to a Python float.
+    """
+    if not _is_real_scalar(value):
+        raise TypeError(f"{name} must be a real scalar, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that *value* is a finite scalar >= 0 and return it as float."""
+    return check_positive(value, name, allow_zero=True)
+
+
+def check_positive_int(value: int, name: str, *, minimum: int = 1) -> int:
+    """Validate that *value* is an integer >= *minimum* and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or (0, 1) when not inclusive)."""
+    if not _is_real_scalar(value):
+        raise TypeError(f"{name} must be a real scalar, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if not (0.0 <= value <= 1.0):
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not (0.0 < value < 1.0):
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that *value* lies in the closed (or open) interval [low, high]."""
+    if not _is_real_scalar(value):
+        raise TypeError(f"{name} must be a real scalar, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def check_probability_vector(values: Sequence[float], name: str, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that *values* is a 1-D array of non-negative entries summing to 1.
+
+    Returns the values as a float64 array.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(arr.sum())
+    if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=atol):
+        raise ValueError(f"{name} must sum to 1 (got {total!r})")
+    return arr
+
+
+def check_integer_array(values: Sequence[int], name: str, *, minimum: int | None = None) -> np.ndarray:
+    """Validate that *values* is an array of integers (optionally >= *minimum*).
+
+    Floating-point inputs are accepted when they are exactly integral.
+    Returns an int64 array.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return arr.astype(np.int64)
+    if np.issubdtype(arr.dtype, np.floating):
+        if np.any(~np.isfinite(arr)):
+            raise ValueError(f"{name} must contain only finite values")
+        if not np.all(arr == np.floor(arr)):
+            raise ValueError(f"{name} must contain integral values")
+        arr = arr.astype(np.int64)
+    elif np.issubdtype(arr.dtype, np.integer):
+        arr = arr.astype(np.int64)
+    else:
+        raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    if minimum is not None and np.any(arr < minimum):
+        raise ValueError(f"{name} must be >= {minimum}")
+    return arr

@@ -1,0 +1,161 @@
+"""Degree histograms and probability distributions.
+
+Section II-A of the paper defines, for a network quantity ``d`` computed
+from the window matrix ``A_t``:
+
+* the histogram ``n_t(d)`` — number of nodes (or links) whose quantity
+  equals ``d``,
+* the probability ``p_t(d) = n_t(d) / Σ_d n_t(d)``, and
+* the cumulative probability ``P_t(d) = Σ_{i<=d} p_t(i)``.
+
+:class:`DegreeHistogram` bundles those three views with the raw degree
+values so downstream pooling and fitting never have to recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.validation import check_integer_array
+
+__all__ = [
+    "DegreeHistogram",
+    "degree_histogram",
+    "probability_from_counts",
+    "cumulative_probability",
+]
+
+
+@dataclass(frozen=True)
+class DegreeHistogram:
+    """Histogram of a positive-integer network quantity.
+
+    Attributes
+    ----------
+    degrees:
+        Sorted, unique degree values with non-zero counts.
+    counts:
+        Number of observations at each degree (same length as *degrees*).
+    """
+
+    degrees: np.ndarray
+    counts: np.ndarray
+    _dense_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        degrees = check_integer_array(self.degrees, "degrees", minimum=1)
+        counts = check_integer_array(self.counts, "counts", minimum=0)
+        if degrees.shape != counts.shape:
+            raise ValueError("degrees and counts must have the same shape")
+        if degrees.size and np.any(np.diff(degrees) <= 0):
+            raise ValueError("degrees must be strictly increasing")
+        object.__setattr__(self, "degrees", degrees)
+        object.__setattr__(self, "counts", counts)
+
+    # -- basic quantities ----------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total number of observations ``Σ_d n(d)``."""
+        return int(self.counts.sum())
+
+    @property
+    def dmax(self) -> int:
+        """Largest observed degree (``argmax(D(d) > 0)`` in the paper, Eq. 1)."""
+        return int(self.degrees[-1]) if self.degrees.size else 0
+
+    def probability(self) -> np.ndarray:
+        """Empirical probability ``p(d)`` aligned with :attr:`degrees`."""
+        if self.total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / self.total
+
+    def cumulative(self) -> np.ndarray:
+        """Empirical cumulative probability ``P(d)`` aligned with :attr:`degrees`."""
+        return np.cumsum(self.probability())
+
+    def dense_counts(self, dmax: int | None = None) -> np.ndarray:
+        """Counts on the dense support ``1..dmax`` (zeros where unobserved)."""
+        dmax = int(dmax) if dmax is not None else self.dmax
+        if dmax < 1:
+            return np.zeros(0, dtype=np.int64)
+        key = ("dense", dmax)
+        if key not in self._dense_cache:
+            dense = np.zeros(dmax, dtype=np.int64)
+            mask = self.degrees <= dmax
+            dense[self.degrees[mask] - 1] = self.counts[mask]
+            self._dense_cache[key] = dense
+        return self._dense_cache[key].copy()
+
+    def dense_probability(self, dmax: int | None = None) -> np.ndarray:
+        """Probability on the dense support ``1..dmax``."""
+        dense = self.dense_counts(dmax)
+        total = self.total
+        if total == 0:
+            return dense.astype(np.float64)
+        return dense / total
+
+    def fraction_at(self, d: int) -> float:
+        """Fraction of observations with quantity exactly *d* (e.g. ``D(d=1)``)."""
+        idx = np.searchsorted(self.degrees, d)
+        if idx < self.degrees.size and self.degrees[idx] == d and self.total > 0:
+            return float(self.counts[idx] / self.total)
+        return 0.0
+
+    def merge(self, other: "DegreeHistogram") -> "DegreeHistogram":
+        """Combine two histograms by summing counts degree-by-degree."""
+        dmax = max(self.dmax, other.dmax)
+        dense = self.dense_counts(dmax) + other.dense_counts(dmax)
+        return DegreeHistogram.from_dense(dense)
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def from_dense(dense_counts: Sequence[int]) -> "DegreeHistogram":
+        """Build a histogram from a dense count vector indexed by ``d-1``."""
+        dense = check_integer_array(dense_counts, "dense_counts", minimum=0)
+        nz = np.nonzero(dense)[0]
+        return DegreeHistogram(degrees=nz + 1, counts=dense[nz])
+
+    @staticmethod
+    def from_values(values: Sequence[int]) -> "DegreeHistogram":
+        """Build a histogram from raw per-node/per-link quantity values."""
+        return degree_histogram(values)
+
+
+def degree_histogram(values: Sequence[int]) -> DegreeHistogram:
+    """Histogram the raw quantity *values* (all must be >= 1).
+
+    Values equal to zero are rejected: the paper's quantities (packets,
+    fan-in/out, link packets) are strictly positive for observed entities;
+    zero-degree nodes are by construction invisible to the observatory.
+    """
+    arr = check_integer_array(values, "values")
+    if arr.size == 0:
+        return DegreeHistogram(degrees=np.zeros(0, dtype=np.int64), counts=np.zeros(0, dtype=np.int64))
+    if np.any(arr < 1):
+        raise ValueError("values must be >= 1; zero-degree entities are unobservable")
+    degrees, counts = np.unique(arr, return_counts=True)
+    return DegreeHistogram(degrees=degrees, counts=counts)
+
+
+def probability_from_counts(counts: Sequence[int]) -> np.ndarray:
+    """Normalise a dense count vector into a probability vector.
+
+    An all-zero input returns an all-zero output rather than raising, which
+    lets callers treat empty windows uniformly.
+    """
+    arr = np.asarray(counts, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        return np.zeros_like(arr)
+    return arr / total
+
+
+def cumulative_probability(probability: Sequence[float]) -> np.ndarray:
+    """Cumulative sum of a probability vector (``P_t(d)`` in the paper)."""
+    arr = np.asarray(probability, dtype=np.float64)
+    return np.cumsum(arr)

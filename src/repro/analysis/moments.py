@@ -1,0 +1,156 @@
+"""Residual-moment sums used by the PALU ``Λ`` estimator.
+
+Section IV-B of the paper proposes estimating the clustering parameter ``Λ``
+from the residuals of the fitted power-law core:
+
+.. math::
+
+    \\frac{\\sum_{d\\ge 2} d\\,[f(d) - c d^{-\\alpha}]}
+          {\\sum_{d\\ge 2} [f(d) - c d^{-\\alpha}]}
+    \\;\\approx\\; \\frac{\\Lambda + \\Lambda^2}{e^{\\Lambda} - \\Lambda - 1}
+
+where ``f(d)`` is the observed fraction of degree-``d`` nodes.  The functions
+here compute the two residual sums and the ratio; the numerical inversion of
+the right-hand side lives in :mod:`repro.core.palu_fit`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro._util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "residual_moment_sums",
+    "residual_moment_ratio",
+    "poisson_moment_rhs",
+    "lambda_moment_rhs",
+]
+
+
+def residual_moment_sums(
+    degree_fractions: np.ndarray,
+    c: float,
+    alpha: float,
+    *,
+    d_min: int = 2,
+    d_max: int | None = None,
+    clip_negative: bool = True,
+) -> Tuple[float, float]:
+    """Return ``(Σ d·resid, Σ resid)`` for degrees ``d_min <= d <= d_max``.
+
+    Parameters
+    ----------
+    degree_fractions:
+        Dense vector of observed degree fractions indexed by ``d-1``
+        (``degree_fractions[0]`` is the fraction of degree-1 nodes).
+    c, alpha:
+        Power-law core parameters fitted from the tail (Eq. 4).
+    d_min:
+        Smallest degree included in the sums (the paper uses 2).
+    d_max:
+        Largest degree included (default: the whole support).  Restricting
+        the sums to the range where the Poisson residual is non-negligible
+        makes the estimator far less sensitive to small errors in the fitted
+        core ``(c, α)`` accumulating over thousands of tail degrees.
+    clip_negative:
+        The residual ``f(d) − c d^{-α}`` can dip below zero from sampling
+        noise; clipping at zero (default) keeps the moment ratio inside the
+        range of the analytic right-hand side.
+
+    Returns
+    -------
+    (float, float)
+        The weighted sum ``Σ d·resid(d)`` and the plain sum ``Σ resid(d)``
+        over the selected degree range.
+    """
+    f = np.asarray(degree_fractions, dtype=np.float64)
+    if f.ndim != 1:
+        raise ValueError("degree_fractions must be 1-D")
+    c = check_nonnegative(c, "c")
+    alpha = check_positive(alpha, "alpha")
+    if d_min < 1:
+        raise ValueError("d_min must be >= 1")
+    if d_max is not None and d_max < d_min:
+        raise ValueError("d_max must be >= d_min")
+    if f.size < d_min:
+        return 0.0, 0.0
+    d = np.arange(1, f.size + 1, dtype=np.float64)
+    resid = f - c * d ** (-alpha)
+    if clip_negative:
+        resid = np.clip(resid, 0.0, None)
+    sel = d >= d_min
+    if d_max is not None:
+        sel &= d <= d_max
+    weighted = float(np.sum(d[sel] * resid[sel]))
+    plain = float(np.sum(resid[sel]))
+    return weighted, plain
+
+
+def residual_moment_ratio(
+    degree_fractions: np.ndarray,
+    c: float,
+    alpha: float,
+    *,
+    d_min: int = 2,
+    d_max: int | None = None,
+) -> float:
+    """The empirical left-hand side ``Σ d·resid / Σ resid`` of the Λ equation.
+
+    Returns ``nan`` when the residual mass is (numerically) zero, which the
+    caller interprets as "no detectable unattached component".
+    """
+    weighted, plain = residual_moment_sums(degree_fractions, c, alpha, d_min=d_min, d_max=d_max)
+    if plain <= 1e-15:
+        return math.nan
+    return weighted / plain
+
+
+def poisson_moment_rhs(m: float) -> float:
+    """Analytic moment ratio of a zero/one-truncated Poisson residual.
+
+    For residuals of the exact Poisson form ``u·m^d/d!`` (``m = λp``), the
+    population value of ``Σ_{d>=2} d·resid / Σ_{d>=2} resid`` is
+
+    .. math:: g(m) = \\frac{m\\,(e^{m} - 1)}{e^{m} - m - 1}
+
+    whose Taylor expansion at 0 is ``2 + m/3 + O(m²)`` — the limit quoted in
+    the paper.  (The paper prints the numerator as ``Λ + Λ²``; that form is
+    inconsistent with its own Taylor limit and diverges as ``Λ → 0``, so this
+    library uses the exact expression above as the default and keeps the
+    printed variant available as :func:`lambda_moment_rhs` with
+    ``form="paper"`` for comparison.)
+    """
+    m = check_nonnegative(m, "m")
+    if m < 1e-8:
+        return 2.0 + m / 3.0
+    em1 = math.expm1(m)
+    return m * em1 / (em1 - m)
+
+
+def lambda_moment_rhs(Lambda: float, *, form: str = "exact") -> float:
+    """Right-hand side of the Λ moment equation (Section IV-B).
+
+    Parameters
+    ----------
+    Lambda:
+        Candidate value of the clustering parameter (``Λ = e·λ·p`` in the
+        paper's parameterisation; for ``form="exact"`` the argument is the
+        Poisson mean ``m = λ·p`` itself).
+    form:
+        ``"exact"`` (default) evaluates :func:`poisson_moment_rhs`;
+        ``"paper"`` evaluates the literal printed expression
+        ``(Λ + Λ²)/(e^Λ − Λ − 1)``.
+    """
+    Lambda = check_nonnegative(Lambda, "Lambda")
+    if form == "exact":
+        return poisson_moment_rhs(Lambda)
+    if form == "paper":
+        if Lambda < 1e-8:
+            # the printed expression diverges like 2/Λ as Λ -> 0
+            return math.inf if Lambda == 0 else (Lambda + Lambda**2) / (math.expm1(Lambda) - Lambda)
+        return (Lambda + Lambda * Lambda) / (math.expm1(Lambda) - Lambda)
+    raise ValueError(f"unknown form {form!r}; expected 'exact' or 'paper'")

@@ -1,0 +1,149 @@
+"""Text-mode rendering of pooled distributions and fits.
+
+The reproduction intentionally has no plotting dependency, so this module
+renders the paper's log-log panels as fixed-width text: each binary-log bin
+becomes one row with a bar whose length is proportional to ``log10 D(d_i)``,
+optionally overlaid with the model value and the ±1σ band.  The output is
+meant for terminals, logs, and EXPERIMENTS.md — a faithful, if humble,
+stand-in for the Figure-3/Figure-4 axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pooling import PooledDistribution
+
+__all__ = ["render_pooled_panel", "render_series_comparison"]
+
+#: Character used for the observation bars.
+_BAR_CHAR = "█"
+#: Character used to mark the model value on a bar row.
+_MODEL_MARK = "│"
+
+
+def _bar_position(value: float, floor: float, ceiling: float, width: int) -> int:
+    """Map a probability onto a column in [0, width] on a log10 scale."""
+    if value <= 0:
+        return 0
+    log_v = math.log10(value)
+    span = ceiling - floor
+    if span <= 0:
+        return width
+    return int(round(np.clip((log_v - floor) / span, 0.0, 1.0) * width))
+
+
+def render_pooled_panel(
+    observed: PooledDistribution,
+    model: PooledDistribution | None = None,
+    *,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Render one Figure-3-style panel as text.
+
+    Parameters
+    ----------
+    observed:
+        Pooled differential cumulative observation (mean and optional σ).
+    model:
+        Optional pooled model curve (e.g. the fitted Zipf–Mandelbrot) drawn
+        as a marker on each row; aligned onto the observation's bins.
+    title:
+        Panel caption printed above the axes.
+    width:
+        Bar width in characters.
+
+    Returns
+    -------
+    str
+        A multi-line text block; one row per non-empty bin.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    mask = observed.values > 0
+    if not np.any(mask):
+        return f"{title}\n(empty distribution)"
+    values = observed.values
+    model_values = None
+    if model is not None:
+        model_values = model.align_to(observed.bin_edges).values
+
+    positive = values[mask]
+    candidates = [positive.min()]
+    if model_values is not None and np.any(model_values[mask] > 0):
+        candidates.append(model_values[mask][model_values[mask] > 0].min())
+    floor = math.floor(math.log10(min(candidates))) - 0.25
+    ceiling = 0.0  # probabilities never exceed 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'d_i':>9}  {'D(d_i)':>10}  " + "log10 scale " + "-" * (width - 12))
+    for i in range(observed.n_bins):
+        value = values[i]
+        if value <= 0:
+            continue
+        bar_len = _bar_position(value, floor, ceiling, width)
+        bar = _BAR_CHAR * bar_len
+        if model_values is not None and model_values[i] > 0:
+            mark = _bar_position(model_values[i], floor, ceiling, width)
+            padded = list(bar.ljust(width))
+            padded[min(mark, width - 1)] = _MODEL_MARK
+            bar = "".join(padded).rstrip()
+        sigma = ""
+        if observed.sigma is not None and observed.sigma[i] > 0:
+            sigma = f"  ±{observed.sigma[i]:.1e}"
+        lines.append(f"{int(observed.bin_edges[i]):>9}  {value:>10.3e}  {bar}{sigma}")
+    if model is not None:
+        lines.append(f"(observation = {_BAR_CHAR} bars, model = {_MODEL_MARK} marker)")
+    return "\n".join(lines)
+
+
+def render_series_comparison(
+    bin_edges: np.ndarray,
+    series: Sequence[tuple],
+    *,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render several pooled series side by side as a text table.
+
+    Parameters
+    ----------
+    bin_edges:
+        Common bin edges (``d_i = 2^i``).
+    series:
+        Sequence of ``(label, values)`` pairs aligned with *bin_edges*.
+    title:
+        Caption printed above the table.
+    precision:
+        Significant digits for the probabilities.
+
+    Returns
+    -------
+    str
+        A text table with one row per bin and one column per series, used by
+        the Figure-4 harness to print the ZM reference next to the PALU(r)
+        family members.
+    """
+    edges = np.asarray(bin_edges, dtype=np.int64)
+    labels = [label for label, _ in series]
+    columns = []
+    for label, values in series:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != edges.shape:
+            raise ValueError(f"series {label!r} has {arr.size} values for {edges.size} bins")
+        columns.append(arr)
+    header = f"{'d_i':>9}  " + "  ".join(f"{label:>12}" for label in labels)
+    lines = [title, header, "-" * len(header)] if title else [header, "-" * len(header)]
+    for i, edge in enumerate(edges):
+        row_values = "  ".join(
+            f"{columns[j][i]:>12.{precision}e}" if columns[j][i] > 0 else f"{'—':>12}"
+            for j in range(len(columns))
+        )
+        lines.append(f"{int(edge):>9}  {row_values}")
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Exposes the main workflows as subcommands of ``python -m repro`` (or the
+``repro`` console script when installed):
+
+* ``generate`` — build a PALU underlying network and emit a synthetic packet
+  trace to an ``.npz`` file,
+* ``analyze``  — window a trace, print Table-I aggregates, pooled
+  distributions, and the per-quantity Zipf–Mandelbrot fits (the Figure-3
+  workflow),
+* ``fit``      — fit the ZM, PALU, and power-law models to the degree data of
+  one quantity of a trace and print the comparison,
+* ``experiments`` — run the table/figure reproduction drivers and print their
+  rows (what EXPERIMENTS.md is built from).
+
+Every subcommand is a thin wrapper over the public API so that anything the
+CLI does can be scripted directly in Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.comparison import compare_models
+from repro.analysis.pooling import pool_differential_cumulative, pool_probability_vector
+from repro.analysis.reporting import render_pooled_panel
+from repro.analysis.summary import format_table
+from repro.core.distributions import DiscretePowerLaw
+from repro.core.palu_fit import fit_palu
+from repro.core.palu_model import PALUParameters
+from repro.core.powerlaw_fit import fit_power_law
+from repro.core.zm_fit import fit_zipf_mandelbrot
+from repro.generators.palu_graph import generate_palu_graph
+from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.pipeline import analyze_trace
+from repro.streaming.trace_generator import TraceConfig, generate_trace_from_graph
+from repro.streaming.trace_io import load_trace, save_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Hybrid Power-Law Models of Network Traffic' (PALU model).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser("generate", help="generate a PALU network and a synthetic trace")
+    gen.add_argument("output", help="path of the .npz trace file to write")
+    gen.add_argument("--nodes", type=int, default=30_000, help="underlying-network size")
+    gen.add_argument("--packets", type=int, default=400_000, help="number of packets to emit")
+    gen.add_argument("--core", type=float, default=0.55, help="core class weight")
+    gen.add_argument("--leaves", type=float, default=0.25, help="leaf class weight")
+    gen.add_argument("--unattached", type=float, default=0.20, help="unattached class weight")
+    gen.add_argument("--lam", type=float, default=2.0, help="Poisson mean of star sizes (λ)")
+    gen.add_argument("--alpha", type=float, default=2.0, help="core power-law exponent")
+    gen.add_argument("--rate-exponent", type=float, default=1.2,
+                     help="Zipf exponent of the per-link rate model")
+    gen.add_argument("--invalid-fraction", type=float, default=0.0,
+                     help="fraction of packets flagged invalid")
+    gen.add_argument("--seed", type=int, default=0, help="random seed")
+    gen.set_defaults(func=_cmd_generate)
+
+    ana = subparsers.add_parser("analyze", help="windowed Figure-3 style analysis of a trace")
+    ana.add_argument("trace", help="path of a .npz trace written by 'generate'")
+    ana.add_argument("--nv", type=int, default=100_000, help="window size N_V in valid packets")
+    ana.add_argument("--quantities", nargs="+", default=list(QUANTITY_NAMES),
+                     choices=list(QUANTITY_NAMES), help="which Figure-1 quantities to analyse")
+    ana.add_argument("--workers", type=int, default=1, help="worker processes for the window map")
+    ana.add_argument("--panel", action="store_true",
+                     help="also render a text panel of each pooled distribution")
+    ana.set_defaults(func=_cmd_analyze)
+
+    fit = subparsers.add_parser("fit", help="fit ZM / PALU / power-law models to one quantity")
+    fit.add_argument("trace", help="path of a .npz trace")
+    fit.add_argument("--quantity", default="source_fanout", choices=list(QUANTITY_NAMES))
+    fit.add_argument("--nv", type=int, default=100_000, help="window size N_V in valid packets")
+    fit.set_defaults(func=_cmd_fit)
+
+    exp = subparsers.add_parser("experiments", help="run the table/figure reproduction drivers")
+    exp.add_argument(
+        "which",
+        nargs="*",
+        default=["table1", "fig1", "fig2", "fig4"],
+        choices=["table1", "fig1", "fig2", "fig3", "fig4", "expectations", "recovery", "ablations"],
+        help="which experiments to run (default: the fast ones)",
+    )
+    exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = PALUParameters.from_weights(
+        args.core, args.leaves, args.unattached, lam=args.lam, alpha=args.alpha, strict=False
+    )
+    print("PALU parameters:", {k: round(v, 4) for k, v in params.as_dict().items()})
+    palu = generate_palu_graph(params, n_nodes=args.nodes, rng=args.seed)
+    print(f"underlying network: {palu.n_nodes} nodes, {palu.n_edges} edges")
+    config = TraceConfig(
+        n_packets=args.packets,
+        rate_model="zipf",
+        rate_exponent=args.rate_exponent,
+        invalid_fraction=args.invalid_fraction,
+    )
+    trace = generate_trace_from_graph(palu, config, rng=args.seed + 1)
+    path = save_trace(trace, args.output)
+    print(f"wrote {trace.n_packets} packets ({trace.n_valid} valid) to {path}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    print(f"loaded {trace.n_packets} packets ({trace.n_valid} valid) from {args.trace}")
+    analysis = analyze_trace(trace, args.nv, quantities=tuple(args.quantities), n_workers=args.workers)
+    print(f"{analysis.n_windows} windows of N_V = {args.nv} valid packets\n")
+    print("Table-I aggregates per window:")
+    print(format_table(analysis.aggregates_table()))
+    rows = []
+    for quantity in args.quantities:
+        pooled = analysis.pooled(quantity)
+        fit = analysis.fit_zipf_mandelbrot(quantity)
+        rows.append(
+            {
+                "quantity": quantity,
+                "alpha": round(fit.alpha, 3),
+                "delta": round(fit.delta, 3),
+                "D(d=1)": round(float(pooled.values[0]), 4),
+                "dmax": analysis.dmax(quantity),
+                "log_mse": round(fit.error, 5),
+            }
+        )
+    print("\nZipf-Mandelbrot fits per quantity:")
+    print(format_table(rows))
+    if args.panel:
+        for quantity in args.quantities:
+            pooled = analysis.pooled(quantity)
+            fit = analysis.fit_zipf_mandelbrot(quantity)
+            model_pooled = pool_probability_vector(fit.model().probability())
+            print()
+            print(render_pooled_panel(pooled, model_pooled, title=f"{quantity} (α={fit.alpha:.2f}, δ={fit.delta:.2f})"))
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    analysis = analyze_trace(trace, args.nv, quantities=(args.quantity,))
+    hist = analysis.merged_histogram(args.quantity)
+    pooled = pool_differential_cumulative(hist)
+
+    zm = fit_zipf_mandelbrot(pooled, dmax=hist.dmax)
+    palu = fit_palu(hist)
+    baseline = fit_power_law(hist, d_min=1)
+    print(f"quantity: {args.quantity}   observations: {hist.total}   dmax: {hist.dmax}\n")
+    print("Zipf-Mandelbrot:", zm.as_row())
+    print("PALU (reduced): ", palu.as_row())
+    print("power law:      ", baseline.as_row())
+
+    comparison = compare_models(
+        hist,
+        pooled,
+        {
+            "zipf_mandelbrot": zm.model().distribution(),
+            "palu": palu.distribution(hist.dmax),
+            "power_law": DiscretePowerLaw(baseline.alpha, hist.dmax),
+        },
+        n_parameters={"zipf_mandelbrot": 2, "palu": 5, "power_law": 1},
+    )
+    print("\nmodel comparison (best first):")
+    print(format_table([c.as_row() for c in comparison]))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    runners = {
+        "table1": lambda: exp.run_table1(),
+        "fig1": lambda: exp.run_fig1(),
+        "fig2": lambda: exp.run_fig2(),
+        "fig3": lambda: exp.run_fig3(n_workers=4),
+        "fig4": lambda: exp.run_fig4(),
+        "expectations": lambda: exp.run_palu_expectations(),
+        "recovery": lambda: exp.run_palu_recovery(),
+        "ablations": lambda: (
+            exp.run_window_invariance_ablation()
+            + [exp.run_lambda_estimator_ablation()]
+            + exp.run_webcrawl_ablation()
+        ),
+    }
+    for name in args.which:
+        print(f"\n=== {name} ===")
+        rows = runners[name]()
+        if isinstance(rows, dict):
+            rows = [rows]
+        print(format_table(rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""The PALU ↔ Zipf–Mandelbrot connection (Section VI, Figure 4).
+
+Replacing the Poisson-derived factor ``(Λ/d)^d`` by the geometric form
+``r^{1−d}`` (``r > 1``) turns the reduced PALU law into the one-parameter
+family
+
+.. math::
+
+    \\mathrm{PALU}(d) \\;\\propto\\; d^{-α} \\; + \\; r^{\\,1-d}\\,\\bigl((1+δ)^{-α} - 1\\bigr)
+    \\tag{5}
+
+whose second term is calibrated so that ``u/c = (1+δ)^{-α} − 1`` aligns the
+family with the modified Zipf–Mandelbrot distribution of the same ``(α, δ)``.
+Figure 4 of the paper plots these families for five ``(α, δ)`` pairs and
+shows the PALU curves approaching the ZM curve as ``r`` grows.
+
+This module provides the curve family, the parameter couplings
+
+``u/c = (1+δ)^{-α} − 1``  and  ``(1+δ)^{-α} = (U/C)·e^{−λp}·ζ(α)·p^{-α} + 1``,
+
+and convergence metrics used by the Figure-4 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util.validation import check_fraction, check_positive, check_positive_int
+from repro.analysis.comparison import pooled_relative_error
+from repro.analysis.pooling import PooledDistribution, pool_probability_vector
+from repro.core.zeta import riemann_zeta
+from repro.core.zipf_mandelbrot import zm_differential_cumulative, zm_probability
+
+__all__ = [
+    "PALUZMCurve",
+    "FIG4_PANELS",
+    "u_over_c_from_delta",
+    "delta_from_model",
+    "palu_zm_unnormalized",
+    "palu_zm_probability",
+    "palu_zm_differential_cumulative",
+    "curve_family",
+    "zm_convergence_error",
+]
+
+
+#: The five Figure-4 panels: (α, δ, tuple of r values), transcribed from the paper.
+FIG4_PANELS: tuple = (
+    (1.1, -0.5, (1.01, 1.1, 1.2, 1.4, 1.8, 2.0, 3.0, 5.0)),
+    (1.5, -0.6, (1.01, 1.1, 1.2, 1.5, 2.0, 4.0, 11.0)),
+    (2.0, -0.75, (1.05, 1.2, 1.8, 3.0, 6.0, 12.0, 35.0)),
+    (2.5, -0.75, (1.01, 1.05, 1.2, 1.8, 5.0, 20.0, 70.0)),
+    (2.9, -0.8, (1.01, 1.05, 1.2, 1.8, 5.0, 30.0, 200.0)),
+)
+
+#: Degree-support upper limit used by Figure 4 (the paper plots up to 10^6).
+FIG4_DMAX = 1_000_000
+
+
+def u_over_c_from_delta(alpha: float, delta: float) -> float:
+    """The coupling ``u/c = (1 + δ)^{-α} − 1`` of Section VI.
+
+    Positive when ``δ < 0`` (the regime of almost every fit in Figure 3,
+    where the unattached/leaf excess raises the ``d = 1`` probability above
+    the pure power law) and negative when ``δ > 0``.
+    """
+    alpha = check_positive(alpha, "alpha")
+    if 1.0 + delta <= 0.0:
+        raise ValueError(f"delta must satisfy 1 + delta > 0, got {delta!r}")
+    return (1.0 + delta) ** (-alpha) - 1.0
+
+
+def delta_from_model(
+    core: float,
+    unattached: float,
+    lam: float,
+    p: float,
+    alpha: float,
+) -> float:
+    """Solve the Zipf–Mandelbrot offset implied by underlying PALU parameters.
+
+    Section VI: ``(1 + δ)^{-α} = (U/C)·e^{−λp}·ζ(α)·p^{-α} + 1``, hence
+    ``δ = [(U/C)·e^{−λp}·ζ(α)·p^{-α} + 1]^{-1/α} − 1``.
+    """
+    core = check_positive(core, "core")
+    unattached = check_positive(unattached, "unattached", allow_zero=True)
+    p = check_fraction(p, "p", inclusive=False)
+    alpha = check_positive(alpha, "alpha")
+    rhs = (unattached / core) * math.exp(-lam * p) * riemann_zeta(alpha) * p ** (-alpha) + 1.0
+    return rhs ** (-1.0 / alpha) - 1.0
+
+
+def palu_zm_unnormalized(d: np.ndarray, alpha: float, delta: float, r: float) -> np.ndarray:
+    """Equation (5): ``d^{-α} + r^{1−d}·((1+δ)^{-α} − 1)`` (unnormalised)."""
+    alpha = check_positive(alpha, "alpha")
+    r = check_positive(r, "r")
+    if r <= 1.0:
+        raise ValueError(f"r must be > 1, got {r!r}")
+    coupling = u_over_c_from_delta(alpha, delta)
+    arr = np.asarray(d, dtype=np.float64)
+    if np.any(arr < 1):
+        raise ValueError("degrees must be >= 1")
+    geometric = np.exp((1.0 - arr) * math.log(r))
+    values = arr ** (-alpha) + geometric * coupling
+    # a strongly negative coupling (δ > 0) can push the head below zero in
+    # the unnormalised form; clip at zero so the family stays a distribution
+    return np.clip(values, 0.0, None)
+
+
+def palu_zm_probability(dmax: int, alpha: float, delta: float, r: float) -> np.ndarray:
+    """Normalised Equation-(5) pmf on the dense support ``1..dmax``."""
+    dmax = check_positive_int(dmax, "dmax")
+    d = np.arange(1, dmax + 1, dtype=np.float64)
+    values = palu_zm_unnormalized(d, alpha, delta, r)
+    total = values.sum()
+    if total <= 0:
+        raise ValueError("PALU(d) family has zero total mass for these parameters")
+    return values / total
+
+
+def palu_zm_differential_cumulative(dmax: int, alpha: float, delta: float, r: float) -> PooledDistribution:
+    """Equation-(5) curve pooled on binary-log bins (a Figure-4 red curve)."""
+    return pool_probability_vector(palu_zm_probability(dmax, alpha, delta, r))
+
+
+@dataclass(frozen=True)
+class PALUZMCurve:
+    """One member of a Figure-4 curve family."""
+
+    alpha: float
+    delta: float
+    r: float
+    pooled: PooledDistribution
+    zm_error: float
+
+    def as_row(self) -> dict:
+        """Dictionary form used by the Figure-4 table."""
+        return {
+            "alpha": self.alpha,
+            "delta": self.delta,
+            "r": self.r,
+            "log_mse_vs_ZM": round(self.zm_error, 6),
+            "D(d=1)": round(float(self.pooled.values[0]), 6),
+        }
+
+
+def curve_family(
+    alpha: float,
+    delta: float,
+    r_values: Sequence[float],
+    *,
+    dmax: int = FIG4_DMAX,
+) -> tuple[PooledDistribution, list]:
+    """Generate one Figure-4 panel: the ZM reference curve plus the PALU family.
+
+    Returns
+    -------
+    (PooledDistribution, list of PALUZMCurve)
+        The pooled Zipf–Mandelbrot curve for ``(α, δ)`` and, for each ``r``,
+        the pooled Equation-(5) curve together with its log-space distance
+        from the ZM reference.
+    """
+    dmax = check_positive_int(dmax, "dmax")
+    zm_pooled = zm_differential_cumulative(dmax, alpha, delta)
+    curves = []
+    for r in r_values:
+        pooled = palu_zm_differential_cumulative(dmax, alpha, delta, float(r))
+        err = pooled_relative_error(zm_pooled, pooled, log_space=True)
+        curves.append(PALUZMCurve(alpha=alpha, delta=delta, r=float(r), pooled=pooled, zm_error=err))
+    return zm_pooled, curves
+
+
+def zm_convergence_error(alpha: float, delta: float, r: float, *, dmax: int = 10_000) -> float:
+    """Point-wise log-space error between Equation (5) and the ZM pmf.
+
+    Used by the property tests asserting that the PALU family tends to the
+    Zipf–Mandelbrot distribution: the error must decrease as ``r`` grows for
+    fixed ``(α, δ)``.
+    """
+    d = np.arange(1, dmax + 1, dtype=np.float64)
+    palu = palu_zm_probability(dmax, alpha, delta, r)
+    zm = zm_probability(d, alpha, delta)
+    mask = (palu > 0) & (zm > 0)
+    return float(np.mean((np.log10(palu[mask]) - np.log10(zm[mask])) ** 2))

@@ -1,0 +1,50 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each module corresponds to one table or figure of the paper (plus the
+ablations called out in DESIGN.md) and exposes a ``run_*`` function returning
+plain data rows, so the same code backs the ``benchmarks/`` harnesses, the
+``examples/`` scripts, and EXPERIMENTS.md.
+
+* :mod:`repro.experiments.config` — the synthetic scenario catalogue that
+  stands in for the Tokyo/Chicago trace collections of Figure 3.
+* :mod:`repro.experiments.table1` — aggregate network properties.
+* :mod:`repro.experiments.fig1` — streaming network quantities.
+* :mod:`repro.experiments.fig2` — traffic network topologies.
+* :mod:`repro.experiments.fig3` — measured distributions and ZM fits.
+* :mod:`repro.experiments.fig4` — PALU model curve families.
+* :mod:`repro.experiments.palu_expectations` — Section-IV expectation checks.
+* :mod:`repro.experiments.palu_recovery` — Section-IV-B parameter recovery.
+* :mod:`repro.experiments.ablations` — window-size invariance, Λ-estimator
+  variance, and webcrawl-vs-trunk observation contrasts.
+"""
+
+from repro.experiments.config import FIG3_SCENARIOS, Scenario, default_palu_parameters
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3, run_fig3_scenario
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.table1 import run_table1
+from repro.experiments.palu_expectations import run_palu_expectations
+from repro.experiments.palu_recovery import run_palu_recovery
+from repro.experiments.ablations import (
+    run_lambda_estimator_ablation,
+    run_webcrawl_ablation,
+    run_window_invariance_ablation,
+)
+
+__all__ = [
+    "FIG3_SCENARIOS",
+    "Scenario",
+    "default_palu_parameters",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig3_scenario",
+    "run_fig4",
+    "run_table1",
+    "run_palu_expectations",
+    "run_palu_recovery",
+    "run_lambda_estimator_ablation",
+    "run_webcrawl_ablation",
+    "run_window_invariance_ablation",
+]

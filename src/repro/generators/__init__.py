@@ -1,0 +1,45 @@
+"""Generative network models: the substrate the PALU model is built from.
+
+The paper's underlying network is assembled from three generative pieces —
+a preferential-attachment core, degree-1 leaves, and Poisson star components
+— and observed through Erdős–Rényi edge sampling.  This subpackage
+implements each piece from scratch (plus a configuration-model alternative
+for the core and a webcrawl/BFS sampler used as the contrast baseline), and
+:mod:`repro.generators.palu_graph` composes them into the full PALU
+underlying network.
+"""
+
+from repro.generators.configuration_model import generate_configuration_model
+from repro.generators.degree_sequence import (
+    sample_power_law_degrees,
+    sample_zipf_mandelbrot_degrees,
+)
+from repro.generators.erdos_renyi import generate_erdos_renyi
+from repro.generators.palu_graph import PALUGraph, generate_palu_graph
+from repro.generators.poisson_stars import generate_poisson_stars
+from repro.generators.preferential_attachment import (
+    generate_preferential_attachment,
+    generate_shifted_preferential_attachment,
+)
+from repro.generators.sampling import (
+    node_sample,
+    sample_edges,
+    sample_edges_array,
+    webcrawl_sample,
+)
+
+__all__ = [
+    "generate_configuration_model",
+    "sample_power_law_degrees",
+    "sample_zipf_mandelbrot_degrees",
+    "generate_erdos_renyi",
+    "PALUGraph",
+    "generate_palu_graph",
+    "generate_poisson_stars",
+    "generate_preferential_attachment",
+    "generate_shifted_preferential_attachment",
+    "node_sample",
+    "sample_edges",
+    "sample_edges_array",
+    "webcrawl_sample",
+]

@@ -1,0 +1,70 @@
+"""Samplers for heavy-tailed degree sequences.
+
+The configuration-model core (and several tests and benchmarks) need i.i.d.
+draws from the zeta-law ``d^{-α}/ζ(α)`` and from the modified
+Zipf–Mandelbrot law.  Both are provided here on a truncated support with
+exact inverse-CDF sampling, plus a helper that "evens" a sequence so its sum
+is even (a requirement of the configuration model's edge-stub pairing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import RNGLike, as_generator
+from repro._util.validation import check_positive, check_positive_int
+from repro.core.distributions import DiscretePowerLaw, ZipfMandelbrotDistribution
+
+__all__ = [
+    "sample_power_law_degrees",
+    "sample_zipf_mandelbrot_degrees",
+    "make_sum_even",
+]
+
+
+def sample_power_law_degrees(
+    n: int,
+    alpha: float,
+    *,
+    dmax: int = 100_000,
+    rng: RNGLike = None,
+) -> np.ndarray:
+    """Draw *n* degrees from the truncated zeta law ``d^{-α}`` on ``1..dmax``.
+
+    This is the degree law of the PALU core's underlying network.
+    """
+    n = check_positive_int(n, "n", minimum=0)
+    alpha = check_positive(alpha, "alpha")
+    dist = DiscretePowerLaw(alpha, dmax)
+    return dist.sample(n, rng=rng)
+
+
+def sample_zipf_mandelbrot_degrees(
+    n: int,
+    alpha: float,
+    delta: float,
+    *,
+    dmax: int = 100_000,
+    rng: RNGLike = None,
+) -> np.ndarray:
+    """Draw *n* degrees from the modified Zipf–Mandelbrot law on ``1..dmax``."""
+    n = check_positive_int(n, "n", minimum=0)
+    dist = ZipfMandelbrotDistribution(alpha, delta, dmax)
+    return dist.sample(n, rng=rng)
+
+
+def make_sum_even(degrees: np.ndarray, rng: RNGLike = None) -> np.ndarray:
+    """Return a copy of *degrees* whose sum is even.
+
+    When the sum is odd, one uniformly chosen entry is incremented by one —
+    the minimal perturbation that keeps the empirical distribution intact
+    while making the sequence graphical for stub pairing.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64).copy()
+    if degrees.size == 0:
+        return degrees
+    if int(degrees.sum()) % 2 == 1:
+        gen = as_generator(rng)
+        idx = int(gen.integers(0, degrees.size))
+        degrees[idx] += 1
+    return degrees

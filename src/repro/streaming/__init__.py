@@ -1,0 +1,66 @@
+"""Streaming-traffic substrate: traces, windows, the sparse image ``A_t``.
+
+The paper's measurements come from Internet observatories that aggregate
+``N_V`` consecutive valid packets into a sparse source×destination matrix
+``A_t`` and compute the Table-I / Figure-1 quantities from it.  This
+subpackage provides a laptop-scale replacement for that pipeline:
+
+* :mod:`repro.streaming.packet` — packet record arrays and the
+  :class:`PacketTrace` container,
+* :mod:`repro.streaming.trace_generator` — synthetic traffic streams replayed
+  from an underlying (PALU) network,
+* :mod:`repro.streaming.window` — fixed-``N_V`` windowing,
+* :mod:`repro.streaming.sparse_image` — the sparse matrix ``A_t``,
+* :mod:`repro.streaming.aggregates` — Table-I aggregates and Figure-1
+  per-node/per-link quantities,
+* :mod:`repro.streaming.pipeline` — trace → windows → histograms → pooled
+  distributions, with optional multiprocessing over windows
+  (:mod:`repro.streaming.parallel`).
+"""
+
+from repro.streaming.aggregates import (
+    AggregateProperties,
+    compute_aggregates,
+    compute_aggregates_summation,
+    network_quantities,
+)
+from repro.streaming.packet import PACKET_DTYPE, PacketTrace, concatenate_traces
+from repro.streaming.parallel import map_windows
+from repro.streaming.pipeline import WindowedAnalysis, analyze_trace, analyze_windows
+from repro.streaming.sparse_image import TrafficImage, traffic_image
+from repro.streaming.trace_generator import TraceConfig, generate_trace, generate_trace_from_graph
+from repro.streaming.trace_io import load_trace, save_trace
+from repro.streaming.weighted import (
+    WEIGHTED_QUANTITY_NAMES,
+    byte_histograms,
+    byte_image,
+    weighted_quantities,
+)
+from repro.streaming.window import count_windows, iter_windows
+
+__all__ = [
+    "AggregateProperties",
+    "compute_aggregates",
+    "compute_aggregates_summation",
+    "network_quantities",
+    "PACKET_DTYPE",
+    "PacketTrace",
+    "concatenate_traces",
+    "map_windows",
+    "WindowedAnalysis",
+    "analyze_trace",
+    "analyze_windows",
+    "TrafficImage",
+    "traffic_image",
+    "TraceConfig",
+    "generate_trace",
+    "generate_trace_from_graph",
+    "load_trace",
+    "save_trace",
+    "WEIGHTED_QUANTITY_NAMES",
+    "byte_histograms",
+    "byte_image",
+    "weighted_quantities",
+    "count_windows",
+    "iter_windows",
+]

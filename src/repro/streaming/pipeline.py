@@ -1,0 +1,163 @@
+"""End-to-end streaming analysis pipeline.
+
+``trace → N_V windows → A_t → Figure-1 quantities → histograms → pooled
+differential cumulative distributions → (optional) model fits``
+
+:func:`analyze_trace` is the one call behind the Figure-3 reproduction: it
+windows a trace, computes the per-window histograms of each requested
+quantity, pools them with binary-log bins, and aggregates the pooled vectors
+across windows into the mean ``D(d_i)`` and standard deviation ``σ(d_i)``
+that the paper plots with error bars.  Window-level work can be spread over
+worker processes (:mod:`repro.streaming.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro._util.logging import get_logger
+from repro._util.validation import check_positive_int
+from repro.analysis.histogram import DegreeHistogram
+from repro.analysis.pooling import PooledDistribution, aggregate_pooled, pool_differential_cumulative
+from repro.core.zm_fit import ZMFitResult, fit_zipf_mandelbrot
+from repro.streaming.aggregates import QUANTITY_NAMES, AggregateProperties, compute_aggregates, quantity_histograms
+from repro.streaming.packet import PacketTrace
+from repro.streaming.parallel import map_windows
+from repro.streaming.sparse_image import traffic_image
+from repro.streaming.window import iter_windows
+
+__all__ = ["WindowResult", "WindowedAnalysis", "analyze_window", "analyze_windows", "analyze_trace"]
+
+_logger = get_logger("streaming.pipeline")
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Per-window analysis products."""
+
+    aggregates: AggregateProperties
+    histograms: Mapping[str, DegreeHistogram]
+
+    def pooled(self, quantity: str) -> PooledDistribution:
+        """Pooled differential cumulative distribution of one quantity."""
+        return pool_differential_cumulative(self.histograms[quantity])
+
+
+@dataclass(frozen=True)
+class WindowedAnalysis:
+    """Aggregated analysis of all windows of one trace.
+
+    Attributes
+    ----------
+    n_valid:
+        The window size ``N_V`` used.
+    windows:
+        Per-window results, in stream order.
+    quantities:
+        The quantity names analysed (a subset of
+        :data:`repro.streaming.aggregates.QUANTITY_NAMES`).
+    """
+
+    n_valid: int
+    windows: Sequence[WindowResult]
+    quantities: Sequence[str]
+    _pooled_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of complete windows analysed."""
+        return len(self.windows)
+
+    def pooled(self, quantity: str) -> PooledDistribution:
+        """Cross-window mean-and-σ pooled distribution of one quantity (Fig. 3 data)."""
+        if quantity not in self.quantities:
+            raise KeyError(f"quantity {quantity!r} was not analysed; available: {list(self.quantities)}")
+        if quantity not in self._pooled_cache:
+            per_window = [pool_differential_cumulative(w.histograms[quantity]) for w in self.windows]
+            self._pooled_cache[quantity] = aggregate_pooled(per_window)
+        return self._pooled_cache[quantity]
+
+    def merged_histogram(self, quantity: str) -> DegreeHistogram:
+        """Counts of one quantity summed over every window."""
+        if quantity not in self.quantities:
+            raise KeyError(f"quantity {quantity!r} was not analysed; available: {list(self.quantities)}")
+        merged = self.windows[0].histograms[quantity]
+        for w in self.windows[1:]:
+            merged = merged.merge(w.histograms[quantity])
+        return merged
+
+    def dmax(self, quantity: str) -> int:
+        """Largest observed value of one quantity across all windows."""
+        return max(w.histograms[quantity].dmax for w in self.windows)
+
+    def fit_zipf_mandelbrot(self, quantity: str, **kwargs) -> ZMFitResult:
+        """Fit the modified Zipf–Mandelbrot model to one quantity (Fig. 3 black line)."""
+        pooled = self.pooled(quantity)
+        return fit_zipf_mandelbrot(pooled, dmax=self.dmax(quantity), **kwargs)
+
+    def aggregates_table(self) -> list:
+        """Per-window Table-I aggregates, one dict row per window."""
+        return [w.aggregates.as_row() for w in self.windows]
+
+
+def analyze_window(window: PacketTrace) -> WindowResult:
+    """Analyse a single window: build ``A_t``, aggregates, and histograms."""
+    image = traffic_image(window)
+    return WindowResult(
+        aggregates=compute_aggregates(image),
+        histograms=quantity_histograms(image),
+    )
+
+
+def analyze_windows(
+    windows: Sequence[PacketTrace],
+    *,
+    n_valid: int,
+    quantities: Sequence[str] = QUANTITY_NAMES,
+    n_workers: int = 1,
+) -> WindowedAnalysis:
+    """Analyse pre-cut windows (used directly by the parallel benchmarks)."""
+    unknown = set(quantities) - set(QUANTITY_NAMES)
+    if unknown:
+        raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
+    results = map_windows(analyze_window, windows, n_workers=n_workers)
+    if not results:
+        raise ValueError("no complete windows to analyse; lower n_valid or provide a longer trace")
+    return WindowedAnalysis(n_valid=n_valid, windows=results, quantities=tuple(quantities))
+
+
+def analyze_trace(
+    trace: PacketTrace,
+    n_valid: int,
+    *,
+    quantities: Sequence[str] = QUANTITY_NAMES,
+    n_workers: int = 1,
+    max_windows: int | None = None,
+) -> WindowedAnalysis:
+    """Window a trace and analyse every complete ``N_V`` window.
+
+    Parameters
+    ----------
+    trace:
+        The packet trace to analyse.
+    n_valid:
+        Window size ``N_V`` in valid packets.
+    quantities:
+        Which Figure-1 quantities to histogram (all five by default).
+    n_workers:
+        Worker processes for the per-window analysis (serial by default).
+    max_windows:
+        Optionally cap the number of windows analysed (useful for quick
+        looks at very long traces).
+
+    Returns
+    -------
+    WindowedAnalysis
+    """
+    n_valid = check_positive_int(n_valid, "n_valid")
+    windows = list(iter_windows(trace, n_valid))
+    if max_windows is not None:
+        windows = windows[: int(max_windows)]
+    _logger.debug("analysing %d windows of %d valid packets", len(windows), n_valid)
+    return analyze_windows(windows, n_valid=n_valid, quantities=quantities, n_workers=n_workers)

@@ -1,0 +1,56 @@
+"""Trace persistence.
+
+Synthetic traces (and any externally converted captures) are stored as
+compressed ``.npz`` archives holding the packet record columns.  The format
+is deliberately minimal — five named arrays plus a format-version marker —
+so that traces generated once can be reused across benchmark runs without
+regenerating multi-million-packet streams.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.streaming.packet import PACKET_DTYPE, PacketTrace
+
+__all__ = ["save_trace", "load_trace"]
+
+#: Format version written into every archive.
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: PacketTrace, path: Union[str, os.PathLike]) -> Path:
+    """Write *trace* to a compressed ``.npz`` archive and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        src=trace.packets["src"],
+        dst=trace.packets["dst"],
+        time=trace.packets["time"],
+        size=trace.packets["size"],
+        valid=trace.packets["valid"],
+    )
+    # numpy appends .npz when missing; normalise the returned path
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, os.PathLike]) -> PacketTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        n = archive["src"].size
+        records = np.empty(n, dtype=PACKET_DTYPE)
+        records["src"] = archive["src"]
+        records["dst"] = archive["dst"]
+        records["time"] = archive["time"]
+        records["size"] = archive["size"]
+        records["valid"] = archive["valid"]
+    return PacketTrace(records)

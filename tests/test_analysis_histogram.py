@@ -1,0 +1,117 @@
+"""Unit tests for repro.analysis.histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import (
+    DegreeHistogram,
+    cumulative_probability,
+    degree_histogram,
+    probability_from_counts,
+)
+
+
+class TestDegreeHistogramConstruction:
+    def test_from_values_counts(self):
+        hist = degree_histogram([1, 1, 2, 5, 5, 5])
+        np.testing.assert_array_equal(hist.degrees, [1, 2, 5])
+        np.testing.assert_array_equal(hist.counts, [2, 1, 3])
+
+    def test_from_values_rejects_zero(self):
+        with pytest.raises(ValueError, match="unobservable"):
+            degree_histogram([0, 1, 2])
+
+    def test_from_values_rejects_negative(self):
+        with pytest.raises(ValueError):
+            degree_histogram([-1, 2])
+
+    def test_empty_values(self):
+        hist = degree_histogram([])
+        assert hist.total == 0
+        assert hist.dmax == 0
+
+    def test_from_dense_round_trip(self):
+        dense = np.array([3, 0, 2, 0, 1])
+        hist = DegreeHistogram.from_dense(dense)
+        np.testing.assert_array_equal(hist.dense_counts(5), dense)
+
+    def test_from_values_equals_from_dense(self):
+        values = [1, 3, 3, 4]
+        a = degree_histogram(values)
+        b = DegreeHistogram.from_dense([1, 0, 2, 1])
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_rejects_unsorted_degrees(self):
+        with pytest.raises(ValueError):
+            DegreeHistogram(degrees=np.array([3, 1]), counts=np.array([1, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DegreeHistogram(degrees=np.array([1, 2]), counts=np.array([1]))
+
+    def test_float_values_accepted_when_integral(self):
+        hist = degree_histogram(np.array([1.0, 2.0, 2.0]))
+        assert hist.total == 3
+
+
+class TestDegreeHistogramQueries:
+    @pytest.fixture()
+    def hist(self) -> DegreeHistogram:
+        return degree_histogram([1] * 60 + [2] * 25 + [4] * 10 + [16] * 5)
+
+    def test_total(self, hist):
+        assert hist.total == 100
+
+    def test_dmax(self, hist):
+        assert hist.dmax == 16
+
+    def test_probability_sums_to_one(self, hist):
+        assert hist.probability().sum() == pytest.approx(1.0)
+
+    def test_cumulative_last_is_one(self, hist):
+        assert hist.cumulative()[-1] == pytest.approx(1.0)
+
+    def test_fraction_at_present_degree(self, hist):
+        assert hist.fraction_at(1) == pytest.approx(0.6)
+
+    def test_fraction_at_absent_degree(self, hist):
+        assert hist.fraction_at(3) == 0.0
+
+    def test_dense_probability_padding(self, hist):
+        dense = hist.dense_probability(20)
+        assert dense.size == 20
+        assert dense[2] == 0.0
+        assert dense.sum() == pytest.approx(1.0)
+
+    def test_dense_counts_truncation(self, hist):
+        dense = hist.dense_counts(4)
+        assert dense.size == 4
+        assert dense.sum() == 95  # the degree-16 nodes fall outside
+
+    def test_merge_adds_counts(self, hist):
+        other = degree_histogram([1, 1, 32])
+        merged = hist.merge(other)
+        assert merged.total == hist.total + 3
+        assert merged.fraction_at(32) == pytest.approx(1 / 103)
+        assert merged.dmax == 32
+
+    def test_merge_is_commutative(self, hist):
+        other = degree_histogram([2, 3, 3])
+        a = hist.merge(other)
+        b = other.merge(hist)
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+
+class TestHelperFunctions:
+    def test_probability_from_counts(self):
+        np.testing.assert_allclose(probability_from_counts([2, 2, 4]), [0.25, 0.25, 0.5])
+
+    def test_probability_from_zero_counts(self):
+        np.testing.assert_array_equal(probability_from_counts([0, 0]), [0.0, 0.0])
+
+    def test_cumulative_probability(self):
+        np.testing.assert_allclose(cumulative_probability([0.25, 0.25, 0.5]), [0.25, 0.5, 1.0])

@@ -1,0 +1,119 @@
+"""Unit tests for repro.analysis.moments (Λ moment equation ingredients)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy.stats import poisson
+
+from repro.analysis.moments import (
+    lambda_moment_rhs,
+    poisson_moment_rhs,
+    residual_moment_ratio,
+    residual_moment_sums,
+)
+
+
+def _mixture_fractions(c: float, u: float, alpha: float, m: float, dmax: int) -> np.ndarray:
+    d = np.arange(1, dmax + 1, dtype=np.float64)
+    f = c * d ** (-alpha)
+    f[1:] += u * poisson.pmf(d[1:], m) / math.exp(-m)
+    return f
+
+
+class TestResidualMomentSums:
+    def test_pure_power_law_residuals_are_zero(self):
+        d = np.arange(1, 1001, dtype=np.float64)
+        f = 0.5 * d ** (-2.0)
+        weighted, plain = residual_moment_sums(f, 0.5, 2.0)
+        assert weighted == pytest.approx(0.0, abs=1e-12)
+        assert plain == pytest.approx(0.0, abs=1e-12)
+
+    def test_poisson_residual_sums_match_analytic_values(self):
+        c, u, alpha, m = 0.4, 0.1, 2.0, 1.5
+        f = _mixture_fractions(c, u, alpha, m, 500)
+        weighted, plain = residual_moment_sums(f, c, alpha, d_min=2)
+        # Σ_{d>=2} u m^d/d! = u (e^m - 1 - m);  Σ_{d>=2} d u m^d/d! = u m (e^m - 1)
+        assert plain == pytest.approx(u * (math.expm1(m) - m), rel=1e-9)
+        assert weighted == pytest.approx(u * m * math.expm1(m), rel=1e-9)
+
+    def test_d_max_restriction(self):
+        f = _mixture_fractions(0.4, 0.1, 2.0, 1.5, 500)
+        _, plain_all = residual_moment_sums(f, 0.4, 2.0, d_min=2)
+        _, plain_cut = residual_moment_sums(f, 0.4, 2.0, d_min=2, d_max=20)
+        assert plain_cut <= plain_all + 1e-12
+        assert plain_cut == pytest.approx(plain_all, rel=1e-6)  # Poisson mass beyond 20 is negligible
+
+    def test_clip_negative_behaviour(self):
+        d = np.arange(1, 101, dtype=np.float64)
+        f = 0.5 * d ** (-2.0)
+        # overstating c makes every residual negative; clipping keeps sums at zero
+        weighted, plain = residual_moment_sums(f, 0.6, 2.0, clip_negative=True)
+        assert weighted == 0.0 and plain == 0.0
+        weighted_raw, plain_raw = residual_moment_sums(f, 0.6, 2.0, clip_negative=False)
+        assert plain_raw < 0
+
+    def test_rejects_bad_inputs(self):
+        f = np.ones((2, 2))
+        with pytest.raises(ValueError):
+            residual_moment_sums(f, 0.1, 2.0)
+        with pytest.raises(ValueError):
+            residual_moment_sums(np.ones(10), 0.1, 2.0, d_min=0)
+        with pytest.raises(ValueError):
+            residual_moment_sums(np.ones(10), 0.1, 2.0, d_min=5, d_max=3)
+
+
+class TestResidualMomentRatio:
+    def test_ratio_matches_analytic_rhs(self):
+        c, u, alpha, m = 0.4, 0.1, 2.0, 1.5
+        f = _mixture_fractions(c, u, alpha, m, 500)
+        ratio = residual_moment_ratio(f, c, alpha)
+        assert ratio == pytest.approx(poisson_moment_rhs(m), rel=1e-9)
+
+    def test_ratio_nan_when_no_residual(self):
+        d = np.arange(1, 101, dtype=np.float64)
+        f = 0.5 * d ** (-2.0)
+        assert math.isnan(residual_moment_ratio(f, 0.5, 2.0))
+
+
+class TestAnalyticRHS:
+    def test_limit_at_zero_is_two(self):
+        assert poisson_moment_rhs(0.0) == pytest.approx(2.0)
+
+    def test_taylor_expansion_small_m(self):
+        for m in (1e-4, 1e-3, 1e-2):
+            assert poisson_moment_rhs(m) == pytest.approx(2.0 + m / 3.0, abs=1e-3)
+
+    def test_strictly_increasing(self):
+        values = [poisson_moment_rhs(m) for m in np.linspace(0, 10, 50)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_large_m_asymptote(self):
+        # for large m the ratio approaches m (+1): g(m) = m(e^m-1)/(e^m-1-m) -> m
+        assert poisson_moment_rhs(50.0) == pytest.approx(50.0, rel=0.05)
+
+    def test_exact_form_formula(self):
+        m = 2.3
+        expected = m * math.expm1(m) / (math.expm1(m) - m)
+        assert poisson_moment_rhs(m) == pytest.approx(expected)
+
+    def test_lambda_moment_rhs_default_is_exact(self):
+        assert lambda_moment_rhs(1.7) == pytest.approx(poisson_moment_rhs(1.7))
+
+    def test_lambda_moment_rhs_paper_form(self):
+        lam = 1.7
+        expected = (lam + lam**2) / (math.expm1(lam) - lam)
+        assert lambda_moment_rhs(lam, form="paper") == pytest.approx(expected)
+
+    def test_paper_form_diverges_at_zero(self):
+        assert lambda_moment_rhs(0.0, form="paper") == math.inf
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            lambda_moment_rhs(1.0, form="other")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            poisson_moment_rhs(-0.1)

@@ -1,0 +1,182 @@
+"""Unit tests for repro.analysis.pooling (binary-log pooling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import degree_histogram
+from repro.analysis.pooling import (
+    PooledDistribution,
+    aggregate_pooled,
+    log2_bin_edges,
+    log2_bin_index,
+    pool_differential_cumulative,
+    pool_probability_vector,
+)
+
+
+class TestBinEdges:
+    def test_edges_cover_dmax(self):
+        edges = log2_bin_edges(100)
+        assert edges[-1] >= 100
+        assert edges[0] == 1
+
+    def test_edges_are_powers_of_two(self):
+        edges = log2_bin_edges(1000)
+        np.testing.assert_array_equal(edges, 2 ** np.arange(edges.size))
+
+    def test_dmax_one(self):
+        np.testing.assert_array_equal(log2_bin_edges(1), [1])
+
+    def test_dmax_exact_power_of_two(self):
+        edges = log2_bin_edges(8)
+        assert edges[-1] == 8
+
+    def test_invalid_dmax(self):
+        with pytest.raises((ValueError, TypeError)):
+            log2_bin_edges(0)
+
+
+class TestBinIndex:
+    def test_mapping_matches_paper_convention(self):
+        # bin i contains degrees (2^{i-1}, 2^i]
+        degrees = np.array([1, 2, 3, 4, 5, 8, 9, 16, 17])
+        expected = np.array([0, 1, 2, 2, 3, 3, 4, 4, 5])
+        np.testing.assert_array_equal(log2_bin_index(degrees), expected)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            log2_bin_index(np.array([0, 1]))
+
+
+class TestPooling:
+    def test_probability_conserved(self):
+        hist = degree_histogram([1] * 10 + [3] * 5 + [100] * 2)
+        pooled = pool_differential_cumulative(hist)
+        assert pooled.probability_sum() == pytest.approx(1.0)
+
+    def test_first_bin_is_degree_one_mass(self):
+        hist = degree_histogram([1] * 7 + [2] * 3)
+        pooled = pool_differential_cumulative(hist)
+        assert pooled.values[0] == pytest.approx(0.7)
+
+    def test_matches_cumulative_differences(self):
+        values = [1] * 50 + [2] * 20 + [3] * 10 + [4] * 8 + [7] * 6 + [30] * 6
+        hist = degree_histogram(values)
+        pooled = pool_differential_cumulative(hist)
+        # D(d_i) must equal P(2^i) - P(2^{i-1}) computed from the dense cdf
+        dense_p = hist.dense_probability(pooled.bin_edges[-1])
+        cdf = np.cumsum(dense_p)
+        for i in range(1, pooled.n_bins):
+            expected = cdf[2**i - 1] - cdf[2 ** (i - 1) - 1]
+            assert pooled.values[i] == pytest.approx(expected)
+
+    def test_forced_bin_count(self):
+        hist = degree_histogram([1, 2, 3])
+        pooled = pool_differential_cumulative(hist, n_bins=8)
+        assert pooled.n_bins == 8
+        assert pooled.values[5:].sum() == 0.0
+
+    def test_forced_bin_count_too_small_rejected(self):
+        hist = degree_histogram([1, 100])
+        with pytest.raises(ValueError):
+            pool_differential_cumulative(hist, n_bins=2)
+
+    def test_empty_histogram(self):
+        pooled = pool_differential_cumulative(degree_histogram([]))
+        assert pooled.total == 0
+        assert pooled.probability_sum() == 0.0
+
+    def test_total_preserved(self):
+        hist = degree_histogram([1, 2, 2, 8])
+        pooled = pool_differential_cumulative(hist)
+        assert pooled.total == 4
+
+
+class TestPoolProbabilityVector:
+    def test_model_vector_conserved(self):
+        p = np.full(16, 1 / 16)
+        pooled = pool_probability_vector(p)
+        assert pooled.probability_sum() == pytest.approx(1.0)
+
+    def test_agrees_with_histogram_pooling(self):
+        counts = np.array([50, 20, 10, 8, 6, 3, 2, 1])
+        hist = degree_histogram(np.repeat(np.arange(1, 9), counts))
+        from_hist = pool_differential_cumulative(hist)
+        from_vector = pool_probability_vector(counts / counts.sum())
+        np.testing.assert_allclose(from_hist.values, from_vector.values)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pool_probability_vector([-0.1, 1.1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pool_probability_vector([])
+
+
+class TestPooledDistributionObject:
+    def test_nonzero_filters(self):
+        pooled = PooledDistribution(bin_edges=np.array([1, 2, 4]), values=np.array([0.5, 0.0, 0.5]))
+        nz = pooled.nonzero()
+        np.testing.assert_array_equal(nz.bin_edges, [1, 4])
+
+    def test_align_to_superset(self):
+        pooled = PooledDistribution(bin_edges=np.array([1, 2]), values=np.array([0.6, 0.4]))
+        aligned = pooled.align_to(np.array([1, 2, 4, 8]))
+        np.testing.assert_allclose(aligned.values, [0.6, 0.4, 0.0, 0.0])
+
+    def test_align_to_subset_drops_bins(self):
+        pooled = PooledDistribution(bin_edges=np.array([1, 2, 4]), values=np.array([0.5, 0.3, 0.2]))
+        aligned = pooled.align_to(np.array([1, 2]))
+        np.testing.assert_allclose(aligned.values, [0.5, 0.3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PooledDistribution(bin_edges=np.array([1, 2]), values=np.array([1.0]))
+
+    def test_sigma_shape_checked(self):
+        with pytest.raises(ValueError):
+            PooledDistribution(
+                bin_edges=np.array([1, 2]), values=np.array([0.5, 0.5]), sigma=np.array([0.1])
+            )
+
+
+class TestAggregatePooled:
+    def test_mean_and_sigma(self):
+        a = pool_differential_cumulative(degree_histogram([1, 1, 2, 2]))
+        b = pool_differential_cumulative(degree_histogram([1, 2, 2, 2]))
+        agg = aggregate_pooled([a, b])
+        assert agg.values[0] == pytest.approx((0.5 + 0.25) / 2)
+        assert agg.sigma is not None
+        assert agg.sigma[0] == pytest.approx(abs(0.5 - 0.25) / 2)
+
+    def test_single_window_sigma_zero(self):
+        a = pool_differential_cumulative(degree_histogram([1, 2, 4]))
+        agg = aggregate_pooled([a])
+        np.testing.assert_allclose(agg.sigma, 0.0)
+
+    def test_different_supports_are_aligned(self):
+        short = pool_differential_cumulative(degree_histogram([1, 2]))
+        long = pool_differential_cumulative(degree_histogram([1, 64]))
+        agg = aggregate_pooled([short, long])
+        assert agg.n_bins == long.n_bins
+        assert agg.probability_sum() == pytest.approx(1.0)
+
+    def test_total_is_summed(self):
+        a = pool_differential_cumulative(degree_histogram([1, 2]))
+        b = pool_differential_cumulative(degree_histogram([1, 2, 3]))
+        assert aggregate_pooled([a, b]).total == 5
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_pooled([])
+
+    def test_mean_pooled_probability_conserved(self):
+        windows = [
+            pool_differential_cumulative(degree_histogram([1] * 5 + [2] * 3 + [9]))
+            for _ in range(4)
+        ]
+        agg = aggregate_pooled(windows)
+        assert agg.probability_sum() == pytest.approx(1.0)

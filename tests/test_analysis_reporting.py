@@ -1,0 +1,82 @@
+"""Unit tests for repro.analysis.reporting (text-mode panel rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import degree_histogram
+from repro.analysis.pooling import PooledDistribution, pool_differential_cumulative, pool_probability_vector
+from repro.analysis.reporting import render_pooled_panel, render_series_comparison
+from repro.core.zipf_mandelbrot import zm_differential_cumulative
+
+
+@pytest.fixture()
+def observed_pooled():
+    hist = degree_histogram([1] * 60 + [2] * 20 + [3] * 8 + [5] * 6 + [17] * 4 + [120] * 2)
+    return pool_differential_cumulative(hist)
+
+
+class TestRenderPooledPanel:
+    def test_one_row_per_nonempty_bin(self, observed_pooled):
+        text = render_pooled_panel(observed_pooled, title="panel")
+        data_lines = [
+            line for line in text.splitlines() if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        n_nonempty = int(np.count_nonzero(observed_pooled.values > 0))
+        assert len(data_lines) == n_nonempty
+
+    def test_title_included(self, observed_pooled):
+        assert render_pooled_panel(observed_pooled, title="source fan-out").startswith("source fan-out")
+
+    def test_bar_length_monotone_in_probability(self, observed_pooled):
+        text = render_pooled_panel(observed_pooled)
+        lines = [line for line in text.splitlines() if "█" in line]
+        lengths = [line.count("█") for line in lines]
+        values = observed_pooled.values[observed_pooled.values > 0]
+        order_by_value = np.argsort(-values)
+        # the largest-probability bin has the longest bar
+        assert lengths[order_by_value[0]] == max(lengths)
+
+    def test_model_marker_rendered(self, observed_pooled):
+        model = zm_differential_cumulative(128, 2.0, -0.5)
+        text = render_pooled_panel(observed_pooled, model)
+        assert "│" in text
+        assert "model" in text
+
+    def test_sigma_annotation(self):
+        pooled = PooledDistribution(
+            bin_edges=np.array([1, 2, 4]),
+            values=np.array([0.5, 0.3, 0.2]),
+            sigma=np.array([0.05, 0.02, 0.01]),
+            total=100,
+        )
+        text = render_pooled_panel(pooled)
+        assert "±" in text
+
+    def test_empty_distribution(self):
+        pooled = PooledDistribution(bin_edges=np.array([1, 2]), values=np.array([0.0, 0.0]))
+        assert "empty" in render_pooled_panel(pooled)
+
+    def test_width_validation(self, observed_pooled):
+        with pytest.raises(ValueError):
+            render_pooled_panel(observed_pooled, width=4)
+
+
+class TestRenderSeriesComparison:
+    def test_table_shape(self):
+        edges = np.array([1, 2, 4, 8])
+        zm = pool_probability_vector(np.full(8, 1 / 8)).align_to(edges).values
+        text = render_series_comparison(edges, [("ZM", zm), ("PALU r=2", zm * 0.9)], title="fig4")
+        lines = text.splitlines()
+        assert lines[0] == "fig4"
+        assert len(lines) == 3 + edges.size  # title + header + rule + rows
+
+    def test_zero_values_rendered_as_dash(self):
+        edges = np.array([1, 2])
+        text = render_series_comparison(edges, [("a", np.array([0.5, 0.0]))])
+        assert "—" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series_comparison(np.array([1, 2]), [("a", np.array([0.5]))])

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streaming.trace_io import load_trace
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """A small trace produced through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    code = main(
+        [
+            "generate",
+            str(path),
+            "--nodes", "4000",
+            "--packets", "60000",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out.npz"])
+        assert args.nodes == 30_000
+        assert args.alpha == 2.0
+
+    def test_analyze_quantity_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "t.npz", "--quantities", "bogus"])
+
+    def test_experiments_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "fig9"])
+
+
+class TestGenerate:
+    def test_trace_written_and_loadable(self, trace_file):
+        trace = load_trace(trace_file)
+        assert trace.n_packets == 60_000
+        assert trace.n_valid == 60_000
+
+    def test_invalid_fraction_respected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        code = main(
+            [
+                "generate", str(path),
+                "--nodes", "2000", "--packets", "20000",
+                "--invalid-fraction", "0.25", "--seed", "4",
+            ]
+        )
+        assert code == 0
+        trace = load_trace(path)
+        assert trace.n_valid == pytest.approx(15_000, rel=0.05)
+
+
+class TestAnalyze:
+    def test_analyze_prints_fits(self, trace_file, capsys):
+        code = main(["analyze", str(trace_file), "--nv", "20000", "--quantities", "source_fanout"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table-I aggregates" in out
+        assert "source_fanout" in out
+        assert "alpha" in out
+
+    def test_analyze_panel_rendering(self, trace_file, capsys):
+        code = main(
+            ["analyze", str(trace_file), "--nv", "20000", "--quantities", "source_fanout", "--panel"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+
+
+class TestFit:
+    def test_fit_prints_model_comparison(self, trace_file, capsys):
+        code = main(["fit", str(trace_file), "--nv", "20000", "--quantity", "source_fanout"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Zipf-Mandelbrot" in out
+        assert "model comparison" in out
+        assert "power_law" in out
+
+
+class TestExperiments:
+    def test_experiments_subset_runs(self, capsys):
+        code = main(["experiments", "fig4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "log_mse_vs_ZM" in out

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.estimators (log-log regression estimators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import DegreeHistogram, degree_histogram
+from repro.analysis.pooling import pool_differential_cumulative, pool_probability_vector
+from repro.core.distributions import DiscretePowerLaw
+from repro.core.estimators import (
+    estimate_alpha_from_histogram_pooled,
+    estimate_alpha_loglog,
+    estimate_alpha_pooled,
+    estimate_tail_intercept,
+)
+
+
+def _analytic_histogram(alpha: float, dmax: int, total: int = 10_000_000_000) -> DegreeHistogram:
+    """Histogram whose counts follow the power law exactly (no sampling noise)."""
+    d = np.arange(1, dmax + 1, dtype=np.float64)
+    pmf = d ** (-alpha)
+    pmf /= pmf.sum()
+    counts = np.round(pmf * total).astype(np.int64)
+    return DegreeHistogram.from_dense(counts)
+
+
+class TestLogLogEstimator:
+    @pytest.mark.parametrize("alpha", [1.6, 2.0, 2.5, 3.0])
+    def test_recovers_alpha_on_analytic_data(self, alpha):
+        hist = _analytic_histogram(alpha, 2000)
+        est = estimate_alpha_loglog(hist, d_min=2)
+        assert est.alpha == pytest.approx(alpha, abs=0.05)
+
+    def test_slope_sign_convention(self):
+        hist = _analytic_histogram(2.0, 1000)
+        est = estimate_alpha_loglog(hist)
+        assert est.slope == pytest.approx(-est.alpha)
+        assert est.pooled is False
+
+    def test_r_squared_near_one_for_exact_power_law(self):
+        hist = _analytic_histogram(2.0, 1000)
+        est = estimate_alpha_loglog(hist, d_min=2)
+        assert est.r_squared > 0.999
+
+    def test_degree_window_restriction(self):
+        hist = _analytic_histogram(2.0, 1000)
+        est = estimate_alpha_loglog(hist, d_min=10, d_max=100)
+        assert est.n_points <= 91
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_alpha_loglog(degree_histogram([]))
+
+    def test_single_degree_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_alpha_loglog(degree_histogram([3, 3, 3]))
+
+
+class TestPooledEstimator:
+    @pytest.mark.parametrize("alpha", [1.8, 2.2, 2.8])
+    def test_pooling_correction_applied(self, alpha):
+        """Pooled slope is 1-α, and the estimator must undo that (Section IV-A)."""
+        dist = DiscretePowerLaw(alpha, 2**18)
+        pooled = pool_probability_vector(dist.probabilities())
+        est = estimate_alpha_pooled(pooled, min_bin_index=5, max_bin_index=15)
+        assert est.pooled is True
+        assert est.alpha == pytest.approx(alpha, abs=0.08)
+        assert est.slope == pytest.approx(1 - alpha, abs=0.08)
+
+    def test_histogram_wrapper(self):
+        hist = _analytic_histogram(2.0, 2**16)
+        est = estimate_alpha_from_histogram_pooled(hist, min_bin_index=5, max_bin_index=14)
+        assert est.alpha == pytest.approx(2.0, abs=0.1)
+
+    def test_pooled_and_unpooled_agree(self):
+        """Both estimators target the same underlying α despite different slopes."""
+        hist = _analytic_histogram(2.4, 2**16)
+        pooled_est = estimate_alpha_from_histogram_pooled(hist, min_bin_index=5, max_bin_index=14)
+        raw_est = estimate_alpha_loglog(hist, d_min=32, d_max=16_384)
+        assert pooled_est.alpha == pytest.approx(raw_est.alpha, abs=0.1)
+
+    def test_too_few_bins_rejected(self):
+        pooled = pool_differential_cumulative(degree_histogram([1, 1, 2, 3]))
+        with pytest.raises(ValueError):
+            estimate_alpha_pooled(pooled, min_bin_index=3)
+
+
+class TestTailIntercept:
+    def test_recovers_prefactor(self):
+        alpha, dmax = 2.0, 5000
+        hist = _analytic_histogram(alpha, dmax)
+        c_true = 1.0 / np.sum(np.arange(1, dmax + 1, dtype=float) ** -alpha)
+        c_est = estimate_tail_intercept(hist, alpha, d_min=10)
+        assert c_est == pytest.approx(c_true, rel=0.05)
+
+    def test_requires_tail_data(self):
+        hist = degree_histogram([1, 1, 2, 2, 3])
+        with pytest.raises(ValueError):
+            estimate_tail_intercept(hist, 2.0, d_min=10)

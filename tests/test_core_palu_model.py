@@ -1,0 +1,226 @@
+"""Unit tests for repro.core.palu_model (Section III–V expectations)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.palu_model import (
+    PALUParameters,
+    degree_distribution,
+    expected_class_fractions,
+    expected_degree_fractions,
+    expected_degree_one_fraction,
+    reduced_parameters,
+    visible_fraction,
+)
+from repro.core.zeta import riemann_zeta
+
+
+@pytest.fixture(scope="module")
+def params() -> PALUParameters:
+    return PALUParameters.from_weights(0.5, 0.25, 0.25, lam=2.0, alpha=2.0)
+
+
+class TestPALUParameters:
+    def test_constraint_holds_after_from_weights(self, params):
+        assert params.constraint_value() == pytest.approx(1.0, abs=1e-9)
+
+    def test_from_weights_preserves_relative_masses(self):
+        p = PALUParameters.from_weights(2.0, 1.0, 1.0, lam=1.0, alpha=2.0)
+        assert p.core == pytest.approx(0.5)
+        assert p.leaves == pytest.approx(0.25)
+        assert p.unattached_node_fraction() == pytest.approx(0.25)
+
+    def test_direct_constructor_rejects_violated_constraint(self):
+        with pytest.raises(ValueError, match="C \\+ L \\+ U"):
+            PALUParameters(core=0.5, leaves=0.5, unattached=0.5, lam=2.0, alpha=2.0)
+
+    def test_direct_constructor_accepts_exact_constraint(self):
+        lam = 1.0
+        u = 0.2 / (1.0 + lam - math.exp(-lam))
+        p = PALUParameters(core=0.5, leaves=0.3, unattached=u, lam=lam, alpha=2.0)
+        assert p.constraint_value() == pytest.approx(1.0)
+
+    def test_strict_alpha_range_enforced(self):
+        with pytest.raises(ValueError):
+            PALUParameters.from_weights(0.5, 0.3, 0.2, lam=1.0, alpha=3.5)
+
+    def test_non_strict_alpha_range(self):
+        p = PALUParameters.from_weights(0.5, 0.3, 0.2, lam=1.0, alpha=3.5, strict=False)
+        assert p.alpha == 3.5
+
+    def test_lambda_range_enforced(self):
+        with pytest.raises(ValueError):
+            PALUParameters.from_weights(0.5, 0.3, 0.2, lam=25.0, alpha=2.0)
+
+    def test_zero_weight_classes_allowed(self):
+        p = PALUParameters.from_weights(1.0, 0.0, 0.0, lam=1.0, alpha=2.0)
+        assert p.leaves == 0.0
+        assert p.unattached == 0.0
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            PALUParameters.from_weights(0.0, 0.0, 0.0, lam=1.0, alpha=2.0)
+
+    def test_zeta_alpha(self, params):
+        assert params.zeta_alpha() == pytest.approx(riemann_zeta(2.0))
+
+    def test_with_alpha_copies(self, params):
+        other = params.with_alpha(2.5)
+        assert other.alpha == 2.5
+        assert other.core == params.core
+
+    def test_as_dict_keys(self, params):
+        assert set(params.as_dict()) == {"C", "L", "U", "lambda", "alpha"}
+
+
+class TestVisibleFraction:
+    def test_zero_window_sees_nothing(self, params):
+        assert visible_fraction(params, 0.0) == 0.0
+
+    def test_monotone_in_p(self, params):
+        values = [visible_fraction(params, p) for p in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_exact_and_paper_methods_same_scale_for_moderate_p(self, params):
+        # the paper's integral approximation for the core visibility is crude
+        # (a factor ~2 at p = 0.5) but must stay on the same scale and on the
+        # conservative (under-counting) side of the exact thinning sum
+        paper = visible_fraction(params, 0.5, method="paper")
+        exact = visible_fraction(params, 0.5, method="exact")
+        assert 0.3 * exact < paper <= exact * 1.05
+
+    def test_exact_and_paper_methods_converge_at_full_window(self, params):
+        paper = visible_fraction(params, 1.0, method="paper")
+        exact = visible_fraction(params, 1.0, method="exact")
+        # at p = 1 the core term of the paper formula is C/((α-1)ζ(α)) which
+        # still underestimates the exact visible core (= C), so only the
+        # leaf/star terms coincide; check the difference is entirely the core
+        expected_gap = params.core - params.core / ((params.alpha - 1) * params.zeta_alpha())
+        assert exact - paper == pytest.approx(expected_gap, rel=1e-3)
+
+    def test_exact_at_p_one_counts_all_nonisolated(self, params):
+        exact = visible_fraction(params, 1.0, method="exact")
+        # at p=1 every core node (degree >= 1) and leaf is visible; only the
+        # e^{-λ} isolated star centres are not
+        expected = (
+            params.core
+            + params.leaves
+            + params.unattached * (1.0 + params.lam - math.exp(-params.lam))
+        )
+        assert exact == pytest.approx(expected, rel=1e-3)
+
+    def test_unknown_method_rejected(self, params):
+        with pytest.raises(ValueError):
+            visible_fraction(params, 0.5, method="guess")
+
+
+class TestClassFractions:
+    def test_node_fractions_sum_to_one(self, params):
+        fr = expected_class_fractions(params, 0.5)
+        assert fr["core"] + fr["leaves"] + fr["unattached"] == pytest.approx(1.0)
+
+    def test_unattached_links_bounded_by_unattached_nodes(self, params):
+        fr = expected_class_fractions(params, 0.5)
+        assert 0.0 < fr["unattached_links"] < fr["unattached"]
+
+    def test_zero_p_rejected(self, params):
+        with pytest.raises(ValueError):
+            expected_class_fractions(params, 0.0)
+
+    def test_no_unattached_class_when_U_zero(self):
+        p = PALUParameters.from_weights(0.7, 0.3, 0.0, lam=1.0, alpha=2.0)
+        fr = expected_class_fractions(p, 0.5)
+        assert fr["unattached"] == pytest.approx(0.0)
+        assert fr["unattached_links"] == pytest.approx(0.0)
+
+    def test_larger_lambda_means_fewer_single_edge_stars_at_high_p(self):
+        small_lam = PALUParameters.from_weights(0.4, 0.2, 0.4, lam=0.5, alpha=2.0)
+        big_lam = PALUParameters.from_weights(0.4, 0.2, 0.4, lam=6.0, alpha=2.0)
+        fr_small = expected_class_fractions(small_lam, 0.9)
+        fr_big = expected_class_fractions(big_lam, 0.9)
+        # with many leaves per star, a surviving star is rarely a single edge
+        assert fr_big["unattached_links"] < fr_small["unattached_links"]
+
+
+class TestDegreeFractions:
+    def test_degree_one_consistent_with_vector_version(self, params):
+        single = expected_degree_one_fraction(params, 0.5)
+        vector = expected_degree_fractions(params, 0.5, np.array([1]))
+        assert vector[0] == pytest.approx(single)
+
+    def test_fractions_are_positive_and_decreasing_in_tail(self, params):
+        d = np.array([10, 20, 40, 80, 160])
+        f = expected_degree_fractions(params, 0.5, d)
+        assert np.all(f > 0)
+        assert np.all(np.diff(f) < 0)
+
+    def test_tail_follows_power_law_slope(self, params):
+        d = np.array([64, 128, 256, 512, 1024], dtype=np.int64)
+        f = expected_degree_fractions(params, 0.5, d)
+        slope = np.polyfit(np.log(d), np.log(f), 1)[0]
+        assert slope == pytest.approx(-params.alpha, abs=0.05)
+
+    def test_paper_and_exact_agree_in_tail(self, params):
+        d = np.array([50, 100, 200])
+        paper = expected_degree_fractions(params, 0.6, d, method="paper")
+        exact = expected_degree_fractions(params, 0.6, d, method="exact")
+        # exact binomial thinning roughly preserves the power-law tail level;
+        # the paper's approximation should be within a factor of ~2
+        ratio = paper / exact
+        assert np.all(ratio > 0.3)
+        assert np.all(ratio < 3.0)
+
+    def test_rejects_degree_zero(self, params):
+        with pytest.raises(ValueError):
+            expected_degree_fractions(params, 0.5, np.array([0, 1]))
+
+    def test_degree_fractions_sum_below_one(self, params):
+        # summed over the full support the fractions approximate 1 but never exceed it wildly
+        d = np.arange(1, 5000)
+        total = expected_degree_fractions(params, 0.5, d).sum()
+        assert 0.5 < total < 1.5
+
+
+class TestReducedParameters:
+    def test_formulas(self, params):
+        p = 0.5
+        red = reduced_parameters(params, p)
+        V = visible_fraction(params, p)
+        assert red.c == pytest.approx(params.core * p**params.alpha / (riemann_zeta(2.0) * V))
+        assert red.l == pytest.approx(params.leaves * p / V)
+        assert red.u == pytest.approx(params.unattached * math.exp(-params.lam * p) / V)
+        assert red.Lambda == pytest.approx(math.e * params.lam * p)
+        assert red.poisson_mean == pytest.approx(params.lam * p)
+
+    def test_degree_one_reduced_form(self, params):
+        red = reduced_parameters(params, 0.5)
+        assert red.degree_one_fraction() == pytest.approx(red.c + red.l + red.u)
+
+    def test_as_dict_keys(self, params):
+        assert {"c", "l", "u", "Lambda", "poisson_mean", "alpha", "p", "V"} == set(
+            reduced_parameters(params, 0.3).as_dict()
+        )
+
+    def test_p_one_reduces_to_underlying_shares(self, params):
+        red = reduced_parameters(params, 1.0)
+        # at p=1, l = L / V with V < 1, so l exceeds L
+        assert red.l > params.leaves
+
+
+class TestDegreeDistributionFactory:
+    def test_distribution_normalised(self, params):
+        dist = degree_distribution(params, 0.5, dmax=2000)
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_distribution_tail_exponent(self, params):
+        dist = degree_distribution(params, 0.5, dmax=20_000)
+        ratio = dist.pmf(400) / dist.pmf(200)
+        assert ratio == pytest.approx(2.0 ** (-params.alpha), rel=1e-3)
+
+    def test_degree_one_dominates(self, params):
+        dist = degree_distribution(params, 0.5, dmax=2000)
+        assert dist.pmf(1) == max(dist.probabilities())

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.palu_zm_connection (Equation 5 / Figure 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.palu_zm_connection import (
+    FIG4_PANELS,
+    curve_family,
+    delta_from_model,
+    palu_zm_differential_cumulative,
+    palu_zm_probability,
+    palu_zm_unnormalized,
+    u_over_c_from_delta,
+    zm_convergence_error,
+)
+from repro.core.zeta import riemann_zeta
+
+
+class TestCoupling:
+    def test_u_over_c_formula(self):
+        assert u_over_c_from_delta(2.0, -0.5) == pytest.approx(0.5**-2.0 - 1.0)
+
+    def test_negative_delta_gives_positive_coupling(self):
+        assert u_over_c_from_delta(2.0, -0.5) > 0
+
+    def test_positive_delta_gives_negative_coupling(self):
+        assert u_over_c_from_delta(2.0, 1.0) < 0
+
+    def test_zero_delta_gives_zero_coupling(self):
+        assert u_over_c_from_delta(2.0, 0.0) == pytest.approx(0.0)
+
+    def test_rejects_delta_at_minus_one(self):
+        with pytest.raises(ValueError):
+            u_over_c_from_delta(2.0, -1.0)
+
+
+class TestDeltaFromModel:
+    def test_inverts_the_paper_relation(self):
+        # (1+δ)^{-α} = (U/C) e^{-λp} ζ(α) p^{-α} + 1
+        C, U, lam, p, alpha = 0.5, 0.1, 2.0, 0.5, 2.0
+        delta = delta_from_model(C, U, lam, p, alpha)
+        lhs = (1.0 + delta) ** (-alpha)
+        rhs = (U / C) * math.exp(-lam * p) * riemann_zeta(alpha) * p ** (-alpha) + 1.0
+        assert lhs == pytest.approx(rhs)
+
+    def test_delta_is_negative_when_unattached_present(self):
+        # any positive U makes the rhs exceed 1, forcing δ < 0
+        assert delta_from_model(0.5, 0.1, 2.0, 0.5, 2.0) < 0
+
+    def test_no_unattached_gives_zero_delta(self):
+        assert delta_from_model(0.5, 0.0, 2.0, 0.5, 2.0) == pytest.approx(0.0)
+
+    def test_more_unattached_means_more_negative_delta(self):
+        small = delta_from_model(0.5, 0.05, 2.0, 0.5, 2.0)
+        large = delta_from_model(0.5, 0.30, 2.0, 0.5, 2.0)
+        assert large < small
+
+
+class TestEquationFive:
+    def test_formula_at_specific_point(self):
+        d = np.array([3.0])
+        alpha, delta, r = 2.0, -0.5, 2.0
+        expected = 3.0**-2.0 + r ** (1 - 3.0) * ((1 - 0.5) ** -2.0 - 1.0)
+        assert palu_zm_unnormalized(d, alpha, delta, r)[0] == pytest.approx(expected)
+
+    def test_degree_one_value_independent_of_r(self):
+        # at d = 1 the geometric factor is 1, so PALU(1) = 1 + ((1+δ)^{-α} - 1) = (1+δ)^{-α}
+        for r in (1.1, 2.0, 10.0):
+            value = palu_zm_unnormalized(np.array([1.0]), 2.0, -0.5, r)[0]
+            assert value == pytest.approx(0.5**-2.0)
+
+    def test_rejects_r_at_or_below_one(self):
+        with pytest.raises(ValueError):
+            palu_zm_unnormalized(np.array([1.0]), 2.0, -0.5, 1.0)
+
+    def test_rejects_degrees_below_one(self):
+        with pytest.raises(ValueError):
+            palu_zm_unnormalized(np.array([0.5]), 2.0, -0.5, 2.0)
+
+    def test_probability_normalised(self):
+        p = palu_zm_probability(10_000, 2.0, -0.75, 3.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_positive_delta_head_clipped_not_negative(self):
+        # with δ > 0 the coupling is negative; small d can dip below zero in
+        # the raw formula and must be clipped
+        p = palu_zm_probability(1000, 2.25, 0.6, 1.05)
+        assert np.all(p >= 0)
+
+    def test_pooled_curve_conserves_probability(self):
+        pooled = palu_zm_differential_cumulative(2**14, 2.0, -0.75, 3.0)
+        assert pooled.probability_sum() == pytest.approx(1.0)
+
+
+class TestConvergenceToZM:
+    @pytest.mark.parametrize("alpha,delta,r_values", FIG4_PANELS, ids=lambda v: str(v))
+    def test_error_decreases_along_paper_r_sweeps(self, alpha, delta, r_values):
+        errors = [zm_convergence_error(alpha, delta, r, dmax=5000) for r in r_values]
+        # the family tends toward ZM: the last r is much closer than the first
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.05
+
+    def test_tail_matches_zm_regardless_of_r(self):
+        # for large d the geometric term vanishes and both curves are d^{-α}
+        p_palu = palu_zm_probability(5000, 2.0, -0.75, 1.5)
+        ratio = p_palu[2000] / p_palu[1000]
+        assert ratio == pytest.approx((2001 / 1001) ** -2.0, rel=1e-2)
+
+
+class TestCurveFamily:
+    def test_family_rows_match_requested_r(self):
+        zm, curves = curve_family(2.0, -0.75, (1.05, 3.0, 35.0), dmax=5000)
+        assert [c.r for c in curves] == [1.05, 3.0, 35.0]
+        assert zm.probability_sum() == pytest.approx(1.0)
+
+    def test_error_monotone_within_family(self):
+        _, curves = curve_family(2.5, -0.75, (1.01, 1.2, 5.0, 70.0), dmax=5000)
+        errors = [c.zm_error for c in curves]
+        assert errors[-1] < errors[0]
+
+    def test_as_row_keys(self):
+        _, curves = curve_family(2.0, -0.75, (2.0,), dmax=1000)
+        assert {"alpha", "delta", "r", "log_mse_vs_ZM", "D(d=1)"} <= set(curves[0].as_row())
+
+    def test_paper_panel_constants_are_well_formed(self):
+        assert len(FIG4_PANELS) == 5
+        for alpha, delta, r_values in FIG4_PANELS:
+            assert 1.0 < alpha < 3.0
+            assert -1.0 < delta < 0.0
+            assert all(r > 1.0 for r in r_values)
+            assert list(r_values) == sorted(r_values)

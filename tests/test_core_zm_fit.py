@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.zm_fit (Zipf–Mandelbrot parameter fitting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import degree_histogram
+from repro.analysis.pooling import pool_differential_cumulative, PooledDistribution
+from repro.core.distributions import ZipfMandelbrotDistribution
+from repro.core.zipf_mandelbrot import zm_differential_cumulative
+from repro.core.zm_fit import ZMFitResult, fit_zipf_mandelbrot, fit_zipf_mandelbrot_histogram
+
+
+def _pooled_from_model(alpha: float, delta: float, dmax: int) -> PooledDistribution:
+    return zm_differential_cumulative(dmax, alpha, delta)
+
+
+class TestFitOnAnalyticCurves:
+    """Fitting the model to its own (noise-free) pooled curve must recover (α, δ)."""
+
+    @pytest.mark.parametrize(
+        "alpha,delta",
+        [(2.0, -0.5), (1.7, -0.8), (2.3, 0.6), (1.5, 0.0), (2.8, -0.3)],
+    )
+    def test_recovers_parameters(self, alpha, delta):
+        dmax = 20_000
+        pooled = _pooled_from_model(alpha, delta, dmax)
+        fit = fit_zipf_mandelbrot(pooled, dmax)
+        assert fit.alpha == pytest.approx(alpha, abs=0.05)
+        assert fit.delta == pytest.approx(delta, abs=0.1)
+
+    def test_fit_error_is_tiny_on_exact_curve(self):
+        pooled = _pooled_from_model(2.0, -0.5, 10_000)
+        fit = fit_zipf_mandelbrot(pooled, 10_000)
+        assert fit.error < 1e-4
+
+    def test_result_model_roundtrip(self):
+        pooled = _pooled_from_model(2.0, -0.5, 5_000)
+        fit = fit_zipf_mandelbrot(pooled, 5_000)
+        model = fit.model()
+        assert model.alpha == fit.alpha
+        assert model.dmax == 5_000
+
+
+class TestFitOnSampledData:
+    def test_recovers_parameters_from_large_sample(self, zm_sample_histogram):
+        # histogram fixture: 500k draws from ZM(alpha=2.0, delta=-0.5)
+        fit = fit_zipf_mandelbrot_histogram(zm_sample_histogram)
+        assert fit.alpha == pytest.approx(2.0, abs=0.15)
+        assert fit.delta == pytest.approx(-0.5, abs=0.2)
+
+    def test_sigma_weighting_runs(self, zm_sample_histogram):
+        pooled = pool_differential_cumulative(zm_sample_histogram)
+        sigma = np.full(pooled.n_bins, 0.01)
+        weighted = PooledDistribution(
+            bin_edges=pooled.bin_edges, values=pooled.values, sigma=sigma, total=pooled.total
+        )
+        fit = fit_zipf_mandelbrot(weighted, zm_sample_histogram.dmax, use_sigma_weights=True)
+        assert np.isfinite(fit.error)
+
+    def test_alpha_ordering_preserved(self):
+        """A heavier-tailed sample must fit a smaller alpha."""
+        rng = np.random.default_rng(1)
+        heavy = degree_histogram(ZipfMandelbrotDistribution(1.6, -0.5, 20_000).sample(200_000, rng=rng))
+        light = degree_histogram(ZipfMandelbrotDistribution(2.6, -0.5, 20_000).sample(200_000, rng=rng))
+        fit_heavy = fit_zipf_mandelbrot_histogram(heavy)
+        fit_light = fit_zipf_mandelbrot_histogram(light)
+        assert fit_heavy.alpha < fit_light.alpha
+
+
+class TestFitValidation:
+    def test_empty_histogram_rejected(self):
+        empty = degree_histogram([])
+        with pytest.raises(ValueError):
+            fit_zipf_mandelbrot_histogram(empty)
+
+    def test_empty_grid_rejected(self):
+        pooled = _pooled_from_model(2.0, 0.0, 100)
+        with pytest.raises(ValueError):
+            fit_zipf_mandelbrot(pooled, 100, alpha_grid=[])
+
+    def test_refine_false_still_reasonable(self):
+        pooled = _pooled_from_model(2.0, -0.5, 5000)
+        fit = fit_zipf_mandelbrot(pooled, 5000, refine=False)
+        assert fit.alpha == pytest.approx(2.0, abs=0.2)
+        assert fit.converged is False
+
+    def test_as_row_keys(self):
+        pooled = _pooled_from_model(2.0, -0.5, 1000)
+        fit = fit_zipf_mandelbrot(pooled, 1000)
+        row = fit.as_row()
+        assert {"alpha", "delta", "dmax", "log_mse", "bins", "converged"} <= set(row)
+
+    def test_result_is_frozen(self):
+        pooled = _pooled_from_model(2.0, -0.5, 1000)
+        fit = fit_zipf_mandelbrot(pooled, 1000)
+        with pytest.raises(AttributeError):
+            fit.alpha = 3.0  # type: ignore[misc]
+
+    def test_custom_grids_used(self):
+        pooled = _pooled_from_model(2.0, -0.5, 2000)
+        fit = fit_zipf_mandelbrot(
+            pooled, 2000, alpha_grid=[1.9, 2.0, 2.1], delta_grid=[-0.6, -0.5, -0.4], refine=False
+        )
+        assert fit.alpha in (1.9, 2.0, 2.1)
+        assert fit.delta in (-0.6, -0.5, -0.4)

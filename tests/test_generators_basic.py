@@ -1,0 +1,173 @@
+"""Unit tests for the basic generators: degree sequences, configuration model,
+Erdős–Rényi, and Poisson stars."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.generators.configuration_model import (
+    configuration_model_edges,
+    generate_configuration_model,
+)
+from repro.generators.degree_sequence import (
+    make_sum_even,
+    sample_power_law_degrees,
+    sample_zipf_mandelbrot_degrees,
+)
+from repro.generators.erdos_renyi import erdos_renyi_edges, generate_erdos_renyi
+from repro.generators.poisson_stars import generate_poisson_stars, poisson_star_edges
+
+
+class TestDegreeSequences:
+    def test_power_law_sample_range(self):
+        degrees = sample_power_law_degrees(10_000, 2.0, dmax=1000, rng=0)
+        assert degrees.min() >= 1
+        assert degrees.max() <= 1000
+
+    def test_power_law_degree_one_fraction(self):
+        degrees = sample_power_law_degrees(200_000, 2.0, dmax=100_000, rng=1)
+        # P(d=1) = 1/zeta(2) ~ 0.608 for the (barely) truncated law
+        assert np.mean(degrees == 1) == pytest.approx(0.608, abs=0.01)
+
+    def test_zipf_mandelbrot_sample_shifts_head(self):
+        plain = sample_power_law_degrees(100_000, 2.0, dmax=10_000, rng=2)
+        shifted = sample_zipf_mandelbrot_degrees(100_000, 2.0, -0.8, dmax=10_000, rng=2)
+        assert np.mean(shifted == 1) > np.mean(plain == 1)
+
+    def test_zero_samples(self):
+        assert sample_power_law_degrees(0, 2.0, rng=0).size == 0
+
+    def test_make_sum_even_fixes_odd_sum(self):
+        degrees = np.array([1, 1, 1])
+        fixed = make_sum_even(degrees, rng=0)
+        assert fixed.sum() % 2 == 0
+        assert fixed.sum() == 4
+
+    def test_make_sum_even_leaves_even_sum(self):
+        degrees = np.array([2, 1, 1])
+        np.testing.assert_array_equal(make_sum_even(degrees, rng=0), degrees)
+
+    def test_make_sum_even_does_not_mutate_input(self):
+        degrees = np.array([1, 1, 1])
+        make_sum_even(degrees, rng=0)
+        assert degrees.sum() == 3
+
+
+class TestConfigurationModel:
+    def test_edges_reference_valid_nodes(self):
+        degrees = sample_power_law_degrees(500, 2.0, dmax=100, rng=3)
+        edges = configuration_model_edges(degrees, rng=4)
+        assert edges.min() >= 0
+        assert edges.max() < 500
+
+    def test_no_self_loops(self):
+        degrees = np.array([3, 3, 3, 3, 2, 2])
+        edges = configuration_model_edges(degrees, rng=5)
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_no_duplicate_edges(self):
+        degrees = sample_power_law_degrees(300, 1.8, dmax=50, rng=6)
+        edges = configuration_model_edges(degrees, rng=7)
+        assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_degree_distribution_roughly_preserved(self):
+        degrees = sample_power_law_degrees(20_000, 2.0, dmax=2000, rng=8)
+        graph = generate_configuration_model(degrees, rng=9)
+        realised = np.array([d for _, d in graph.degree()])
+        # the fraction of degree-1 nodes survives the stub pairing almost exactly
+        assert np.mean(realised == 1) == pytest.approx(np.mean(degrees == 1), abs=0.03)
+
+    def test_graph_has_all_nodes(self):
+        degrees = np.array([0, 1, 1, 2, 2])
+        graph = generate_configuration_model(degrees, rng=10)
+        assert graph.number_of_nodes() == 5
+
+    def test_empty_sequence(self):
+        edges = configuration_model_edges(np.array([], dtype=np.int64), rng=0)
+        assert edges.shape == (0, 2)
+
+
+class TestErdosRenyi:
+    def test_p_zero_gives_no_edges(self):
+        assert erdos_renyi_edges(100, 0.0, rng=0).shape == (0, 2)
+
+    def test_p_one_gives_complete_graph(self):
+        edges = erdos_renyi_edges(20, 1.0, rng=0)
+        assert edges.shape[0] == 20 * 19 // 2
+
+    def test_edge_count_matches_expectation_dense_path(self):
+        n, p = 400, 0.05
+        edges = erdos_renyi_edges(n, p, rng=1)
+        expected = p * n * (n - 1) / 2
+        assert edges.shape[0] == pytest.approx(expected, rel=0.1)
+
+    def test_edge_count_matches_expectation_sparse_path(self):
+        n, p = 20_000, 2e-5
+        edges = erdos_renyi_edges(n, p, rng=2)
+        expected = p * n * (n - 1) / 2
+        assert edges.shape[0] == pytest.approx(expected, rel=0.15)
+
+    def test_sparse_path_edges_valid(self):
+        n = 10_000
+        edges = erdos_renyi_edges(n, 5e-5, rng=3)
+        assert edges.min() >= 0
+        assert edges.max() < n
+        assert np.all(edges[:, 0] < edges[:, 1])
+        assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_graph_wrapper_node_count(self):
+        graph = generate_erdos_renyi(50, 0.1, rng=4)
+        assert graph.number_of_nodes() == 50
+
+    def test_mean_degree_poisson_like(self):
+        graph = generate_erdos_renyi(2000, 0.005, rng=5)
+        degrees = np.array([d for _, d in graph.degree()])
+        assert degrees.mean() == pytest.approx(0.005 * 1999, rel=0.1)
+
+
+class TestPoissonStars:
+    def test_edge_and_node_counts_consistent(self):
+        batch = poisson_star_edges(1000, 2.0, rng=0)
+        assert batch.n_nodes == 1000 + batch.leaf_counts.sum()
+        assert batch.edges.shape[0] == batch.leaf_counts.sum()
+
+    def test_mean_leaf_count_matches_lambda(self):
+        batch = poisson_star_edges(50_000, 3.0, rng=1)
+        assert batch.leaf_counts.mean() == pytest.approx(3.0, rel=0.02)
+
+    def test_isolated_fraction_matches_poisson_zero_probability(self):
+        lam = 1.5
+        batch = poisson_star_edges(50_000, lam, rng=2)
+        assert batch.n_isolated / 50_000 == pytest.approx(np.exp(-lam), rel=0.05)
+
+    def test_single_edge_star_fraction(self):
+        lam = 1.5
+        batch = poisson_star_edges(50_000, lam, rng=3)
+        assert batch.n_single_edge_stars / 50_000 == pytest.approx(lam * np.exp(-lam), rel=0.05)
+
+    def test_zero_stars(self):
+        batch = poisson_star_edges(0, 2.0, rng=4)
+        assert batch.n_nodes == 0
+        assert batch.edges.shape == (0, 2)
+
+    def test_graph_excludes_isolated_by_default(self):
+        graph = generate_poisson_stars(2000, 0.5, rng=5)
+        assert all(d >= 1 for _, d in graph.degree())
+
+    def test_graph_keeps_isolated_when_requested(self):
+        graph = generate_poisson_stars(2000, 0.5, keep_isolated=True, rng=6)
+        isolated = [n for n, d in graph.degree() if d == 0]
+        assert len(isolated) > 0
+
+    def test_components_are_stars(self):
+        graph = generate_poisson_stars(500, 2.0, rng=7)
+        for component in nx.connected_components(graph):
+            sub = graph.subgraph(component)
+            # a star on k nodes has k-1 edges and max degree k-1
+            assert sub.number_of_edges() == sub.number_of_nodes() - 1
+
+    def test_lambda_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_star_edges(10, 30.0, rng=0)

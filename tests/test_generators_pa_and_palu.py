@@ -1,0 +1,219 @@
+"""Unit tests for preferential attachment, the PALU graph builder, and sampling."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import degree_histogram
+from repro.core.palu_model import PALUParameters
+from repro.core.powerlaw_fit import fit_discrete_mle
+from repro.generators.palu_graph import generate_palu_graph
+from repro.generators.preferential_attachment import (
+    attachment_shift_for_alpha,
+    generate_preferential_attachment,
+    generate_shifted_preferential_attachment,
+)
+from repro.generators.sampling import node_sample, sample_edges, sample_edges_array, webcrawl_sample
+
+
+class TestPreferentialAttachment:
+    def test_node_and_edge_counts(self):
+        g = generate_preferential_attachment(500, 2, rng=0)
+        assert g.number_of_nodes() == 500
+        # each new node adds m edges; the seed star adds m
+        assert g.number_of_edges() == pytest.approx(2 * 500, rel=0.05)
+
+    def test_connected(self):
+        g = generate_preferential_attachment(300, 1, rng=1)
+        assert nx.is_connected(g)
+
+    def test_heavy_tail_exponent_near_three(self):
+        g = generate_preferential_attachment(20_000, 2, rng=2)
+        hist = degree_histogram([d for _, d in g.degree()])
+        fit = fit_discrete_mle(hist, d_min=8)
+        assert 2.4 < fit.alpha < 3.6
+
+    def test_rich_get_richer(self):
+        g = generate_preferential_attachment(5000, 1, rng=3)
+        degrees = np.array([d for _, d in g.degree()])
+        # early nodes accumulate much higher degree than late nodes
+        assert degrees[:50].mean() > 5 * degrees[-1000:].mean()
+
+    def test_m_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            generate_preferential_attachment(5, 5, rng=0)
+
+    def test_reproducible(self):
+        a = generate_preferential_attachment(200, 1, rng=7)
+        b = generate_preferential_attachment(200, 1, rng=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestShiftedPreferentialAttachment:
+    def test_shift_formula(self):
+        assert attachment_shift_for_alpha(3.0, 1) == pytest.approx(0.0)
+        assert attachment_shift_for_alpha(2.5, 2) == pytest.approx(-1.0)
+
+    def test_unreachable_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            attachment_shift_for_alpha(1.9, 1)
+
+    def test_must_give_exactly_one_of_alpha_or_shift(self):
+        with pytest.raises(ValueError):
+            generate_shifted_preferential_attachment(100, 1, rng=0)
+        with pytest.raises(ValueError):
+            generate_shifted_preferential_attachment(100, 1, alpha=2.5, shift=0.0, rng=0)
+
+    def test_lower_alpha_gives_heavier_tail(self):
+        heavy = generate_shifted_preferential_attachment(8000, 1, alpha=2.2, rng=4)
+        light = generate_shifted_preferential_attachment(8000, 1, alpha=3.0, rng=4)
+        dmax_heavy = max(d for _, d in heavy.degree())
+        dmax_light = max(d for _, d in light.degree())
+        assert dmax_heavy > dmax_light
+
+    def test_graph_size(self):
+        g = generate_shifted_preferential_attachment(500, 1, alpha=2.5, rng=5)
+        assert g.number_of_nodes() == 500
+
+
+class TestPALUGraph:
+    @pytest.fixture(scope="class")
+    def params(self) -> PALUParameters:
+        return PALUParameters.from_weights(0.5, 0.25, 0.25, lam=2.0, alpha=2.0)
+
+    def test_class_counts_match_proportions(self, params):
+        palu = generate_palu_graph(params, n_nodes=30_000, rng=0)
+        counts = palu.class_counts()
+        assert counts["core"] == pytest.approx(params.core * 30_000, rel=0.01)
+        assert counts["leaves"] == pytest.approx(params.leaves * 30_000, rel=0.01)
+        assert counts["star_centres"] == pytest.approx(params.unattached * 30_000, rel=0.01)
+        # star leaves are Poisson(lambda) per centre
+        assert counts["star_leaves"] == pytest.approx(
+            params.unattached * 30_000 * params.lam, rel=0.05
+        )
+
+    def test_classes_are_disjoint(self, params):
+        palu = generate_palu_graph(params, n_nodes=5000, rng=1)
+        all_ids = np.concatenate(
+            [palu.core_nodes, palu.leaf_nodes, palu.star_centres, palu.star_leaves]
+        )
+        assert np.unique(all_ids).size == all_ids.size
+
+    def test_leaves_have_degree_one_into_core(self, params):
+        palu = generate_palu_graph(params, n_nodes=5000, rng=2)
+        core_set = set(palu.core_nodes.tolist())
+        for leaf in palu.leaf_nodes[:200]:
+            neighbors = list(palu.graph.neighbors(int(leaf)))
+            assert len(neighbors) == 1
+            assert neighbors[0] in core_set
+
+    def test_star_components_disconnected_from_core(self, params):
+        palu = generate_palu_graph(params, n_nodes=5000, rng=3)
+        centre_set = set(palu.star_centres.tolist()) | set(palu.star_leaves.tolist())
+        for centre in palu.star_centres[:200]:
+            for neighbor in palu.graph.neighbors(int(centre)):
+                assert neighbor in centre_set
+
+    def test_core_degree_distribution_is_heavy_tailed(self, params):
+        palu = generate_palu_graph(params, n_nodes=40_000, rng=4)
+        core_degrees = np.array([palu.graph.degree(int(n)) for n in palu.core_nodes])
+        core_degrees = core_degrees[core_degrees > 0]
+        hist = degree_histogram(core_degrees)
+        fit = fit_discrete_mle(hist, d_min=5)
+        # the core carries the zeta(alpha=2) law plus leaf attachments
+        assert 1.6 < fit.alpha < 2.4
+
+    def test_preferential_attachment_core_option(self):
+        # the growth-process core can only reach alpha > 2 (shift > -m), so use 2.5
+        params = PALUParameters.from_weights(0.5, 0.25, 0.25, lam=2.0, alpha=2.5)
+        palu = generate_palu_graph(params, n_nodes=2000, core_model="preferential-attachment", rng=5)
+        assert palu.n_nodes > 1500
+
+    def test_preferential_attachment_core_rejects_unreachable_alpha(self, params):
+        # params fixture has alpha = 2.0, outside the growth model's reachable range
+        with pytest.raises(ValueError, match="unreachable"):
+            generate_palu_graph(params, n_nodes=1000, core_model="preferential-attachment", rng=5)
+
+    def test_unknown_core_model_rejected(self, params):
+        with pytest.raises(ValueError):
+            generate_palu_graph(params, n_nodes=1000, core_model="random", rng=0)
+
+    def test_edges_array_shape(self, params):
+        palu = generate_palu_graph(params, n_nodes=2000, rng=6)
+        edges = palu.edges_array()
+        assert edges.shape[1] == 2
+        assert edges.shape[0] == palu.n_edges
+
+    def test_class_of_mapping_covers_all_nodes(self, params):
+        palu = generate_palu_graph(params, n_nodes=2000, rng=7)
+        mapping = palu.class_of()
+        assert len(mapping) == palu.n_nodes
+
+    def test_seed_alias(self, params):
+        a = generate_palu_graph(params, n_nodes=1000, seed=42)
+        b = generate_palu_graph(params, n_nodes=1000, rng=42)
+        assert a.n_edges == b.n_edges
+
+
+class TestSampling:
+    def test_sample_edges_array_thinning_rate(self):
+        edges = np.arange(20_000).reshape(-1, 2)
+        kept = sample_edges_array(edges, 0.3, rng=0)
+        assert kept.shape[0] == pytest.approx(0.3 * 10_000, rel=0.1)
+
+    def test_sample_edges_array_p_one_identity(self):
+        edges = np.arange(10).reshape(-1, 2)
+        np.testing.assert_array_equal(sample_edges_array(edges, 1.0, rng=0), edges)
+
+    def test_sample_edges_array_p_zero_empty(self):
+        edges = np.arange(10).reshape(-1, 2)
+        assert sample_edges_array(edges, 0.0, rng=0).shape[0] == 0
+
+    def test_sample_edges_graph_drops_isolated_nodes(self):
+        g = nx.star_graph(50)
+        observed = sample_edges(g, 0.5, rng=1)
+        assert all(d >= 1 for _, d in observed.degree())
+        assert observed.number_of_edges() < 50
+
+    def test_sample_edges_keeps_edge_fraction(self, small_palu_graph):
+        observed = sample_edges(small_palu_graph.graph, 0.4, rng=2)
+        assert observed.number_of_edges() == pytest.approx(0.4 * small_palu_graph.n_edges, rel=0.07)
+
+    def test_node_sample_subgraph(self):
+        g = nx.complete_graph(100)
+        sampled = node_sample(g, 0.3, rng=3)
+        assert 10 <= sampled.number_of_nodes() <= 55
+
+    def test_webcrawl_returns_connected_view_from_hub(self):
+        g = _hub_with_debris()
+        crawled = webcrawl_sample(g, n_seeds=1)
+        assert nx.is_connected(crawled)
+        # the isolated edge (900, 901) is invisible to the crawl
+        assert 900 not in crawled
+
+    def test_webcrawl_misses_unattached_components(self, small_palu_graph):
+        crawled = webcrawl_sample(small_palu_graph.graph, n_seeds=3)
+        star_nodes = set(small_palu_graph.star_centres.tolist())
+        crawled_stars = star_nodes & set(crawled.nodes())
+        assert len(crawled_stars) == 0
+
+    def test_webcrawl_max_nodes_cap(self):
+        g = nx.path_graph(1000)
+        crawled = webcrawl_sample(g, seeds=[0], max_nodes=50)
+        assert crawled.number_of_nodes() == 50
+
+    def test_webcrawl_unknown_seed_rejected(self):
+        with pytest.raises(ValueError):
+            webcrawl_sample(nx.path_graph(5), seeds=[99])
+
+    def test_webcrawl_empty_graph(self):
+        assert webcrawl_sample(nx.Graph()).number_of_nodes() == 0
+
+
+def _hub_with_debris() -> nx.Graph:
+    g = nx.star_graph(40)
+    g.add_edges_from([(1, 100), (100, 101)])
+    g.add_edge(900, 901)  # unattached link
+    return g

@@ -1,0 +1,141 @@
+"""End-to-end integration tests across subpackages.
+
+These exercise the full story of the paper on one synthetic world:
+generate a PALU underlying network → emit traffic → window → aggregate →
+pool → fit (power law, Zipf–Mandelbrot, PALU) → check the qualitative claims
+(d=1 excess, ZM superiority, parameter consistency, PALU→ZM convergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.comparison import compare_models, pooled_relative_error
+from repro.analysis.pooling import pool_probability_vector
+from repro.core.distributions import DiscretePowerLaw, ZipfMandelbrotDistribution
+from repro.core.palu_zm_connection import delta_from_model
+from repro.generators.sampling import sample_edges, webcrawl_sample
+from repro.streaming.pipeline import analyze_trace
+from repro.streaming.trace_generator import generate_trace
+
+
+@pytest.fixture(scope="module")
+def world(palu_params):
+    """One shared synthetic world: underlying network + traffic + analysis."""
+    graph = repro.generate_palu_graph(palu_params, n_nodes=20_000, rng=101)
+    trace = generate_trace(graph.graph, 300_000, rate_model="zipf", rate_exponent=1.2, rng=102)
+    analysis = analyze_trace(trace, 100_000)
+    return {"params": palu_params, "graph": graph, "trace": trace, "analysis": analysis}
+
+
+class TestEndToEndPipeline:
+    def test_windows_and_aggregates(self, world):
+        analysis = world["analysis"]
+        assert analysis.n_windows == 3
+        for row in analysis.aggregates_table():
+            assert row["valid_packets"] == 100_000
+
+    def test_degree_one_excess_is_visible(self, world):
+        """Trunk-style observation shows the d=1 spike (red dots of Figure 3)."""
+        pooled = world["analysis"].pooled("source_fanout")
+        assert pooled.values[0] > 0.3
+
+    def test_zm_fit_beats_power_law_on_every_quantity(self, world):
+        analysis = world["analysis"]
+        for quantity in ("source_fanout", "destination_fanin", "link_packets"):
+            pooled = analysis.pooled(quantity)
+            hist = analysis.merged_histogram(quantity)
+            zm_fit = analysis.fit_zipf_mandelbrot(quantity)
+            pl_fit = repro.fit_power_law(hist, d_min=1)
+            comparison = compare_models(
+                hist,
+                pooled,
+                {
+                    "zipf_mandelbrot": zm_fit.model().distribution(),
+                    "power_law": DiscretePowerLaw(pl_fit.alpha, hist.dmax),
+                },
+                n_parameters={"zipf_mandelbrot": 2, "power_law": 1},
+            )
+            assert comparison[0].name == "zipf_mandelbrot"
+
+    def test_palu_fit_on_observed_degrees_matches_generator_alpha(self, world):
+        observed = sample_edges(world["graph"].graph, 0.6, rng=103)
+        degrees = [d for _, d in observed.degree() if d > 0]
+        hist = repro.degree_histogram(degrees)
+        fit = repro.fit_palu(hist)
+        assert fit.alpha == pytest.approx(world["params"].alpha, abs=0.35)
+        # leaves plus unattached mass dominates the degree-1 bin
+        assert fit.l + fit.u > fit.c * 0.5
+
+    def test_window_size_changes_only_p(self, world):
+        """Re-analysing with a smaller window lowers the effective p but keeps the tail exponent."""
+        analysis_small = analyze_trace(world["trace"], 50_000)
+        big = world["analysis"].fit_zipf_mandelbrot("source_fanout")
+        small = analysis_small.fit_zipf_mandelbrot("source_fanout")
+        assert small.alpha == pytest.approx(big.alpha, abs=0.4)
+        # a smaller window sees fewer distinct links per window
+        assert analysis_small.dmax("source_fanout") <= world["analysis"].dmax("source_fanout")
+
+    def test_webcrawl_view_hides_the_unattached_debris(self, world):
+        graph = world["graph"]
+        crawled = webcrawl_sample(graph.graph, n_seeds=3)
+        trunk = sample_edges(graph.graph, 0.6, rng=104)
+        crawl_degrees = repro.degree_histogram([d for _, d in crawled.degree() if d > 0])
+        trunk_degrees = repro.degree_histogram([d for _, d in trunk.degree() if d > 0])
+        assert trunk_degrees.fraction_at(1) > crawl_degrees.fraction_at(1)
+
+    def test_zm_delta_sign_matches_model_prediction(self, world):
+        """Section VI: unattached mass pushes the fitted δ negative."""
+        params = world["params"]
+        predicted_delta = delta_from_model(
+            params.core, params.unattached, params.lam, 0.5, params.alpha
+        )
+        assert predicted_delta < 0
+        observed = sample_edges(world["graph"].graph, 0.5, rng=105)
+        hist = repro.degree_histogram([d for _, d in observed.degree() if d > 0])
+        fit = repro.fit_zipf_mandelbrot_histogram(hist)
+        assert fit.delta < 0
+
+    def test_fitted_zm_model_reproduces_pooled_curve(self, world):
+        analysis = world["analysis"]
+        pooled = analysis.pooled("source_fanout")
+        fit = analysis.fit_zipf_mandelbrot("source_fanout")
+        model_pooled = pool_probability_vector(fit.model().probability())
+        assert pooled_relative_error(pooled, model_pooled) < 0.1
+
+
+class TestCrossModuleConsistency:
+    def test_expected_fractions_match_simulation_at_two_windows(self, world):
+        params = world["params"]
+        graph = world["graph"]
+        class_of = graph.class_of()
+        for p in (0.4, 0.9):
+            observed = sample_edges(graph.graph, p, rng=int(p * 1000))
+            visible = [n for n, d in observed.degree() if d > 0]
+            sim_v = len(visible) / graph.n_nodes
+            pred_v = repro.visible_fraction(params, p, method="exact")
+            assert pred_v == pytest.approx(sim_v, rel=0.1)
+            sim_leaves = np.mean([class_of[n] == "leaf" for n in visible])
+            pred = repro.expected_class_fractions(params, p, method="exact")
+            assert pred["leaves"] == pytest.approx(sim_leaves, abs=0.05)
+
+    def test_generated_trace_replays_into_same_graph_edges(self, world):
+        trace = world["trace"]
+        graph_edges = {
+            tuple(sorted(e)) for e in world["graph"].graph.edges()
+        }
+        sample = trace.packets[:5000]
+        for src, dst in zip(sample["src"], sample["dst"]):
+            assert tuple(sorted((int(src), int(dst)))) in graph_edges
+
+    def test_zipf_mandelbrot_distribution_sampling_round_trip(self):
+        """Sampling from a fitted model and re-fitting recovers the parameters."""
+        original = ZipfMandelbrotDistribution(1.9, -0.6, 20_000)
+        hist = repro.degree_histogram(original.sample(300_000, rng=106))
+        fit = repro.fit_zipf_mandelbrot_histogram(hist)
+        resampled = repro.degree_histogram(fit.model().distribution().sample(300_000, rng=107))
+        refit = repro.fit_zipf_mandelbrot_histogram(resampled)
+        assert refit.alpha == pytest.approx(fit.alpha, abs=0.15)
+        assert refit.delta == pytest.approx(fit.delta, abs=0.2)

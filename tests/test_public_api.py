@@ -1,0 +1,93 @@
+"""Tests of the public API surface of the top-level :mod:`repro` package."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name!r}"
+
+    def test_subpackages_importable(self):
+        for subpackage in ("core", "generators", "streaming", "analysis", "experiments", "_util"):
+            module = importlib.import_module(f"repro.{subpackage}")
+            assert module is not None
+
+    def test_subpackage_all_names_resolve(self):
+        for subpackage in ("core", "generators", "streaming", "analysis", "experiments"):
+            module = importlib.import_module(f"repro.{subpackage}")
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"repro.{subpackage}.__all__ lists missing {name!r}"
+
+    def test_quickstart_docstring_names_exist(self):
+        # every repro.* attribute referenced in the package docstring quickstart
+        for name in (
+            "PALUParameters",
+            "generate_palu_graph",
+            "sample_edges",
+            "degree_histogram",
+            "fit_zipf_mandelbrot_histogram",
+        ):
+            assert hasattr(repro, name)
+
+    def test_public_callables_have_docstrings(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert undocumented == []
+
+    def test_core_module_callables_have_docstrings(self):
+        import repro.core as core
+
+        undocumented = []
+        for name in core.__all__:
+            obj = getattr(core, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert undocumented == []
+
+    def test_no_private_names_exported(self):
+        assert not [n for n in repro.__all__ if n.startswith("_") and n != "__version__"]
+
+
+class TestQuickstartFlow:
+    def test_readme_quickstart_runs(self):
+        params = repro.PALUParameters.from_weights(0.5, 0.2, 0.3, lam=2.0, alpha=2.0)
+        graph = repro.generate_palu_graph(params, n_nodes=3_000, seed=7)
+        observed = repro.sample_edges(graph.graph, p=0.4, seed=8)
+        hist = repro.degree_histogram([d for _, d in observed.degree() if d > 0])
+        fit = repro.fit_zipf_mandelbrot_histogram(hist)
+        row = fit.as_row()
+        assert 1.0 < row["alpha"] < 4.0
+
+    def test_streaming_quickstart_runs(self):
+        params = repro.PALUParameters.from_weights(0.5, 0.2, 0.3, lam=2.0, alpha=2.0)
+        graph = repro.generate_palu_graph(params, n_nodes=3_000, seed=9)
+        trace = repro.generate_trace(graph.graph, 60_000, rng=10)
+        analysis = repro.analyze_trace(trace, 20_000)
+        assert analysis.n_windows == 3
+        fit = analysis.fit_zipf_mandelbrot("source_packets")
+        assert fit.dmax > 1
+
+    def test_invalid_usage_raises_helpful_errors(self):
+        with pytest.raises(ValueError):
+            repro.PALUParameters.from_weights(0.0, 0.0, 0.0, lam=1.0, alpha=2.0)
+        with pytest.raises((ValueError, TypeError)):
+            repro.degree_histogram([0])
+        with pytest.raises(ValueError):
+            repro.fit_zipf_mandelbrot_histogram(repro.degree_histogram([]))

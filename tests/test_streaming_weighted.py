@@ -1,0 +1,98 @@
+"""Unit tests for repro.streaming.weighted (byte-weighted quantities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pooling import pool_differential_cumulative
+from repro.core.zm_fit import fit_zipf_mandelbrot
+from repro.streaming.packet import PacketTrace
+from repro.streaming.weighted import (
+    WEIGHTED_QUANTITY_NAMES,
+    byte_histograms,
+    byte_image,
+    weighted_quantities,
+)
+
+
+def _tiny_window() -> PacketTrace:
+    """5->7 (100 + 200 bytes), 5->8 (50 bytes), 6->7 (300 bytes), one invalid."""
+    return PacketTrace.from_arrays(
+        src=[5, 5, 5, 6, 9],
+        dst=[7, 7, 8, 7, 9],
+        size=[100, 200, 50, 300, 999],
+        valid=[True, True, True, True, False],
+    )
+
+
+class TestByteImage:
+    def test_entries_accumulate_bytes(self):
+        image = byte_image(_tiny_window())
+        dense = image.to_dense()
+        np.testing.assert_array_equal(dense, [[300, 50], [300, 0]])
+
+    def test_total_equals_valid_bytes(self):
+        window = _tiny_window()
+        image = byte_image(window)
+        assert image.matrix.sum() == window.total_bytes()
+
+    def test_invalid_packets_excluded(self):
+        image = byte_image(_tiny_window())
+        assert 9 not in image.source_ids
+
+    def test_empty_window(self):
+        image = byte_image(PacketTrace.empty())
+        assert image.matrix.shape == (0, 0)
+
+
+class TestWeightedQuantities:
+    def test_known_values(self):
+        q = weighted_quantities(byte_image(_tiny_window()))
+        assert sorted(q["source_bytes"].tolist()) == [300, 350]
+        assert sorted(q["link_bytes"].tolist()) == [50, 300, 300]
+        assert sorted(q["destination_bytes"].tolist()) == [50, 600]
+
+    def test_all_names_present(self):
+        q = weighted_quantities(byte_image(_tiny_window()))
+        assert set(q) == set(WEIGHTED_QUANTITY_NAMES)
+
+    def test_byte_conservation(self, small_trace):
+        window = small_trace.slice(0, 20_000)
+        image = byte_image(window)
+        q = weighted_quantities(image)
+        total = window.total_bytes()
+        assert q["source_bytes"].sum() == total
+        assert q["link_bytes"].sum() == total
+        assert q["destination_bytes"].sum() == total
+
+    def test_empty(self):
+        q = weighted_quantities(byte_image(PacketTrace.empty()))
+        assert all(v.size == 0 for v in q.values())
+
+
+class TestByteHistograms:
+    def test_bucketing_floor_is_one(self):
+        hists = byte_histograms(byte_image(_tiny_window()), bucket_bytes=1024)
+        # every byte total is below 1024, so all land in bucket 1
+        assert hists["link_bytes"].dmax == 1
+        assert hists["link_bytes"].total == 3
+
+    def test_bucket_size_changes_support(self):
+        hists = byte_histograms(byte_image(_tiny_window()), bucket_bytes=100)
+        assert hists["source_bytes"].dmax == 4  # 350 bytes -> bucket 4
+
+    def test_invalid_bucket_size_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            byte_histograms(byte_image(_tiny_window()), bucket_bytes=0)
+
+    def test_weighted_pipeline_fits_like_packet_pipeline(self, small_trace):
+        """The weighted extension runs through pooling + ZM fitting unchanged."""
+        window = small_trace.slice(0, 60_000)
+        hists = byte_histograms(byte_image(window), bucket_bytes=512)
+        hist = hists["source_bytes"]
+        pooled = pool_differential_cumulative(hist)
+        assert pooled.probability_sum() == pytest.approx(1.0)
+        fit = fit_zipf_mandelbrot(pooled, dmax=hist.dmax)
+        assert np.isfinite(fit.alpha)
+        assert fit.alpha > 0.5

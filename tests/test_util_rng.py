@@ -1,0 +1,77 @@
+"""Unit tests for repro._util.rng and repro._util.logging."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro._util.logging import get_logger, log_duration
+from repro._util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        children = spawn_generators(0, 4)
+        assert len(children) == 4
+
+    def test_children_independent(self):
+        children = spawn_generators(0, 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_from_seed(self):
+        a = spawn_generators(5, 3)[1].random(10)
+        b = spawn_generators(5, 3)[1].random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestLogging:
+    def test_root_logger_name(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_name(self):
+        assert get_logger("streaming.pipeline").name == "repro.streaming.pipeline"
+
+    def test_log_duration_emits(self, caplog):
+        logger = get_logger("test")
+        with caplog.at_level(logging.DEBUG, logger="repro.test"):
+            with log_duration(logger, "unit-of-work"):
+                pass
+        assert any("unit-of-work" in record.message for record in caplog.records)

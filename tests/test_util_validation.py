@@ -1,0 +1,183 @@
+"""Unit tests for repro._util.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util.validation import (
+    check_fraction,
+    check_in_range,
+    check_integer_array,
+    check_nonnegative,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_positive_int(self):
+        assert check_positive(3, "x") == 3.0
+
+    def test_accepts_numpy_scalar(self):
+        assert check_positive(np.float64(1.25), "x") == 1.25
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_allow_zero(self):
+        assert check_positive(0.0, "x", allow_zero=True) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("1.0", "x")
+
+    def test_error_message_includes_name(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_positive(-3.0, "alpha")
+
+
+class TestCheckNonnegative:
+    def test_zero_ok(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "n") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(7), "n") == 7
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(5.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_positive_int(1, "n", minimum=2)
+
+    def test_custom_minimum_zero(self):
+        assert check_positive_int(0, "n", minimum=0) == 0
+
+
+class TestCheckFraction:
+    def test_bounds_inclusive(self):
+        assert check_fraction(0.0, "p") == 0.0
+        assert check_fraction(1.0, "p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "p", inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "p", inclusive=False)
+
+    def test_interior_value(self):
+        assert check_fraction(0.37, "p") == 0.37
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.2, "p")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.2, "p")
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(2.0, "alpha", 1.5, 3.0) == 2.0
+
+    def test_boundaries(self):
+        assert check_in_range(1.5, "alpha", 1.5, 3.0) == 1.5
+        assert check_in_range(3.0, "alpha", 1.5, 3.0) == 3.0
+
+    def test_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.5, "alpha", 1.5, 3.0)
+
+    def test_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "alpha", 1.5, 3.0, inclusive=False)
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector(self):
+        out = check_probability_vector([0.25, 0.25, 0.5], "p")
+        assert out.dtype == np.float64
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative_entry(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_probability_vector([0.5, -0.1, 0.6], "p")
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_probability_vector([0.5, 0.6], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([], "p")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([[0.5, 0.5]], "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_probability_vector([0.5, float("nan")], "p")
+
+
+class TestCheckIntegerArray:
+    def test_int_input(self):
+        out = check_integer_array([1, 2, 3], "d")
+        assert out.dtype == np.int64
+
+    def test_integral_float_input(self):
+        out = check_integer_array([1.0, 4.0], "d")
+        assert list(out) == [1, 4]
+
+    def test_non_integral_float_rejected(self):
+        with pytest.raises(ValueError, match="integral"):
+            check_integer_array([1.5], "d")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer_array([0, 1], "d", minimum=1)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_integer_array(["a"], "d")
+
+    def test_empty_ok(self):
+        out = check_integer_array([], "d", minimum=1)
+        assert out.size == 0
