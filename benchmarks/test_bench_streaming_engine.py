@@ -1,0 +1,97 @@
+"""Benchmark — serial vs process vs streaming execution backends.
+
+Times :func:`repro.streaming.pipeline.analyze_trace` on the same seeded
+32-window trace under each :class:`~repro.streaming.parallel.ExecutionBackend`
+and writes a ``BENCH_streaming_engine.json`` artifact (backend → seconds,
+plus the engine's buffering statistics) so the perf trajectory of the
+engine can be tracked across PRs.  All backends must agree on the pooled
+output — the benchmark asserts bit-identity as it times.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import default_palu_parameters
+from repro.generators.palu_graph import generate_palu_graph
+from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.pipeline import analyze_trace
+from repro.streaming.trace_generator import generate_trace
+
+SEED = 20210329
+N_VALID = 3_000
+N_WINDOWS = 32
+CHUNK_PACKETS = 12_000
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming_engine.json"
+
+_RESULTS: dict[str, dict] = {}
+_BASELINE_POOLED: dict[str, np.ndarray] = {}
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    """A seeded trace holding exactly 32 complete 3k-valid-packet windows."""
+    graph = generate_palu_graph(default_palu_parameters(), n_nodes=6_000, rng=SEED)
+    return generate_trace(graph.graph, N_VALID * N_WINDOWS, rate_model="zipf", rng=SEED + 1)
+
+
+def _run(trace, backend: str):
+    kwargs = {"backend": backend, "keep_windows": False}
+    if backend == "process":
+        kwargs["n_workers"] = 4
+    if backend == "streaming":
+        kwargs["chunk_packets"] = CHUNK_PACKETS
+    return analyze_trace(trace, N_VALID, **kwargs)
+
+
+@pytest.mark.parametrize("backend", ["serial", "process", "streaming"])
+def test_bench_streaming_engine(benchmark, bench_trace, backend):
+    start = time.perf_counter()
+    analysis = benchmark.pedantic(_run, args=(bench_trace, backend), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    assert analysis.n_windows == N_WINDOWS
+    pooled = analysis.pooled("source_fanout")
+    if backend == "serial":
+        for quantity in QUANTITY_NAMES:
+            _BASELINE_POOLED[quantity] = analysis.pooled(quantity).values
+    elif _BASELINE_POOLED:
+        for quantity in QUANTITY_NAMES:
+            assert np.array_equal(analysis.pooled(quantity).values, _BASELINE_POOLED[quantity])
+
+    row = {
+        "backend": backend,
+        "seconds": round(elapsed, 4),
+        "n_windows": analysis.n_windows,
+        "n_valid": N_VALID,
+        "engine_stats": {k: v for k, v in analysis.engine_stats.items()},
+        "pooled_d1": float(pooled.values[0]),
+    }
+    _RESULTS[backend] = row
+    benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
+
+
+def test_bench_streaming_engine_artifact():
+    """Write the backend-comparison artifact (runs after the timed cases)."""
+    if not _RESULTS:
+        pytest.skip("no backend timings collected in this run")
+    serial = _RESULTS.get("serial", {}).get("seconds")
+    report = {
+        "benchmark": "streaming_engine_backends",
+        "n_valid": N_VALID,
+        "n_windows": N_WINDOWS,
+        "chunk_packets": CHUNK_PACKETS,
+        "backends": _RESULTS,
+        "speedup_vs_serial": {
+            name: round(serial / row["seconds"], 3)
+            for name, row in _RESULTS.items()
+            if serial and row["seconds"] > 0
+        },
+    }
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    assert ARTIFACT_PATH.is_file()

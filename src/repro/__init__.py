@@ -71,12 +71,16 @@ from repro.generators import (
 )
 from repro.streaming import (
     PacketTrace,
+    StreamAnalyzer,
     TrafficImage,
     WindowedAnalysis,
     analyze_trace,
     compute_aggregates,
     generate_trace,
+    get_backend,
+    iter_trace_chunks,
     iter_windows,
+    save_trace_sharded,
     traffic_image,
 )
 
@@ -127,12 +131,16 @@ __all__ = [
     "webcrawl_sample",
     # streaming
     "PacketTrace",
+    "StreamAnalyzer",
     "TrafficImage",
     "WindowedAnalysis",
     "analyze_trace",
     "compute_aggregates",
     "generate_trace",
+    "get_backend",
+    "iter_trace_chunks",
     "iter_windows",
+    "save_trace_sharded",
     "traffic_image",
     "__version__",
 ]

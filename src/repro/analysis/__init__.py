@@ -29,7 +29,7 @@ from repro.analysis.histogram import (
     degree_histogram,
     probability_from_counts,
 )
-from repro.analysis.moments import residual_moment_ratio, residual_moment_sums
+from repro.analysis.moments import StreamingMoments, residual_moment_ratio, residual_moment_sums
 from repro.analysis.pooling import (
     PooledDistribution,
     aggregate_pooled,
@@ -61,6 +61,7 @@ __all__ = [
     "cumulative_probability",
     "degree_histogram",
     "probability_from_counts",
+    "StreamingMoments",
     "residual_moment_ratio",
     "residual_moment_sums",
     "PooledDistribution",

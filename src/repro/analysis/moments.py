@@ -12,6 +12,13 @@ from the residuals of the fitted power-law core:
 where ``f(d)`` is the observed fraction of degree-``d`` nodes.  The functions
 here compute the two residual sums and the ratio; the numerical inversion of
 the right-hand side lives in :mod:`repro.core.palu_fit`.
+
+The module also provides :class:`StreamingMoments`, a single-pass (Welford)
+mean/σ accumulator over vectors whose length may grow between updates.  It
+backs the out-of-core analysis engine
+(:class:`repro.streaming.pipeline.StreamAnalyzer`), which folds per-window
+pooled distributions into running cross-window moments instead of stacking
+every window in memory.
 """
 
 from __future__ import annotations
@@ -24,11 +31,79 @@ import numpy as np
 from repro._util.validation import check_nonnegative, check_positive
 
 __all__ = [
+    "StreamingMoments",
     "residual_moment_sums",
     "residual_moment_ratio",
     "poisson_moment_rhs",
     "lambda_moment_rhs",
 ]
+
+
+class StreamingMoments:
+    """Single-pass mean and standard deviation of a stream of vectors.
+
+    Implements Welford's online algorithm element-wise over 1-D vectors.
+    Vectors may grow in length between updates (pooled distributions gain
+    bins as larger degrees appear); earlier, shorter samples are treated as
+    zero in the new trailing positions, which is exactly the zero-fill
+    convention of :func:`repro.analysis.pooling.aggregate_pooled`.
+
+    Folding is associative only in exact arithmetic; in floating point the
+    result depends on update order, so every execution backend must fold in
+    stream (window) order — which is what makes the serial, process, and
+    streaming backends bit-identical.
+    """
+
+    def __init__(self, n_bins: int = 0) -> None:
+        if n_bins < 0:
+            raise ValueError("n_bins must be >= 0")
+        self._count = 0
+        self._mean = np.zeros(int(n_bins), dtype=np.float64)
+        self._m2 = np.zeros(int(n_bins), dtype=np.float64)
+
+    @property
+    def count(self) -> int:
+        """Number of vectors folded in so far."""
+        return self._count
+
+    @property
+    def n_bins(self) -> int:
+        """Current vector length (the longest seen so far)."""
+        return int(self._mean.size)
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one sample vector into the running moments."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("StreamingMoments.update expects a 1-D vector")
+        if values.size > self._mean.size:
+            # zero-padding the state is exact: every earlier sample contributed
+            # zero in the new trailing bins, for which mean = M2 = 0
+            grown = np.zeros(values.size, dtype=np.float64)
+            grown[: self._mean.size] = self._mean
+            self._mean = grown
+            grown2 = np.zeros(values.size, dtype=np.float64)
+            grown2[: self._m2.size] = self._m2
+            self._m2 = grown2
+        elif values.size < self._mean.size:
+            padded = np.zeros(self._mean.size, dtype=np.float64)
+            padded[: values.size] = values
+            values = padded
+        self._count += 1
+        delta = values - self._mean
+        self._mean = self._mean + delta / self._count
+        self._m2 = self._m2 + delta * (values - self._mean)
+
+    def mean(self) -> np.ndarray:
+        """Running element-wise mean."""
+        return self._mean.copy()
+
+    def std(self, *, ddof: int = 0) -> np.ndarray:
+        """Running element-wise standard deviation (population by default)."""
+        if self._count - ddof <= 0:
+            return np.zeros(self._mean.size, dtype=np.float64)
+        variance = np.maximum(self._m2 / (self._count - ddof), 0.0)
+        return np.sqrt(variance)
 
 
 def residual_moment_sums(

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.comparison import compare_models
@@ -34,9 +35,10 @@ from repro.core.powerlaw_fit import fit_power_law
 from repro.core.zm_fit import fit_zipf_mandelbrot
 from repro.generators.palu_graph import generate_palu_graph
 from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.parallel import BACKEND_NAMES
 from repro.streaming.pipeline import analyze_trace
 from repro.streaming.trace_generator import TraceConfig, generate_trace_from_graph
-from repro.streaming.trace_io import load_trace, save_trace
+from repro.streaming.trace_io import load_trace, save_trace, save_trace_sharded, trace_format
 
 __all__ = ["build_parser", "main"]
 
@@ -63,6 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--invalid-fraction", type=float, default=0.0,
                      help="fraction of packets flagged invalid")
     gen.add_argument("--seed", type=int, default=0, help="random seed")
+    gen.add_argument("--shard-packets", type=int, default=None,
+                     help="write a v2 sharded trace directory with this many packets per shard "
+                          "(enables out-of-core analysis); default: single v1 .npz file")
     gen.set_defaults(func=_cmd_generate)
 
     ana = subparsers.add_parser("analyze", help="windowed Figure-3 style analysis of a trace")
@@ -70,7 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--nv", type=int, default=100_000, help="window size N_V in valid packets")
     ana.add_argument("--quantities", nargs="+", default=list(QUANTITY_NAMES),
                      choices=list(QUANTITY_NAMES), help="which Figure-1 quantities to analyse")
-    ana.add_argument("--workers", type=int, default=1, help="worker processes for the window map")
+    ana.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the window map "
+                          "(default: 1, or auto with --backend process)")
+    ana.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                     help="execution backend (default: serial, or process when --workers > 1); "
+                          "'streaming' analyses the trace out-of-core, chunk by chunk")
+    ana.add_argument("--chunk-packets", type=int, default=None,
+                     help="read/cut the trace in chunks of this many packets "
+                          "(bounds memory under --backend streaming)")
     ana.add_argument("--panel", action="store_true",
                      help="also render a text panel of each pooled distribution")
     ana.set_defaults(func=_cmd_analyze)
@@ -89,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table1", "fig1", "fig2", "fig3", "fig4", "expectations", "recovery", "ablations"],
         help="which experiments to run (default: the fast ones)",
     )
+    exp.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                     help="execution backend for drivers that analyse traces (fig3)")
+    exp.add_argument("--chunk-packets", type=int, default=None,
+                     help="trace chunk size for the streaming backend")
+    exp.add_argument("--workers", type=int, default=None,
+                     help="worker processes for the fig3 window map (default: 4, "
+                          "ignored by the streaming backend)")
     exp.set_defaults(func=_cmd_experiments)
 
     return parser
@@ -113,15 +133,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         invalid_fraction=args.invalid_fraction,
     )
     trace = generate_trace_from_graph(palu, config, rng=args.seed + 1)
-    path = save_trace(trace, args.output)
+    if args.shard_packets is not None:
+        path = save_trace_sharded(trace, args.output, shard_packets=args.shard_packets)
+    else:
+        path = save_trace(trace, args.output)
     print(f"wrote {trace.n_packets} packets ({trace.n_valid} valid) to {path}")
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
-    print(f"loaded {trace.n_packets} packets ({trace.n_valid} valid) from {args.trace}")
-    analysis = analyze_trace(trace, args.nv, quantities=tuple(args.quantities), n_workers=args.workers)
+    if args.backend == "streaming":
+        if args.workers is not None:
+            print("note: --workers is ignored by the streaming backend (single-threaded fold)")
+        if Path(args.trace).exists() and trace_format(args.trace) == 1:
+            print("note: v1 .npz archives load whole before chunking; generate with "
+                  "--shard-packets for true out-of-core reads")
+        # out-of-core path: hand the engine the path so shards stream from disk
+        print(f"streaming trace from {args.trace}")
+        analysis = analyze_trace(
+            args.trace,
+            args.nv,
+            quantities=tuple(args.quantities),
+            backend="streaming",
+            chunk_packets=args.chunk_packets,
+        )
+        stats = analysis.engine_stats
+        print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
+              f"peak buffered packets={stats.get('max_buffered_packets')}")
+    else:
+        trace = load_trace(args.trace)
+        print(f"loaded {trace.n_packets} packets ({trace.n_valid} valid) from {args.trace}")
+        analysis = analyze_trace(
+            trace,
+            args.nv,
+            quantities=tuple(args.quantities),
+            n_workers=args.workers,
+            backend=args.backend,
+            chunk_packets=args.chunk_packets,
+        )
     print(f"{analysis.n_windows} windows of N_V = {args.nv} valid packets\n")
     print("Table-I aggregates per window:")
     print(format_table(analysis.aggregates_table()))
@@ -183,11 +232,19 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro import experiments as exp
 
+    # historical default: fig3 ran on 4 workers; keep that unless the user
+    # chose a backend (whose own worker semantics then apply) or a count
+    fig3_workers = args.workers
+    if fig3_workers is None and args.backend is None:
+        fig3_workers = 4
+
     runners = {
         "table1": lambda: exp.run_table1(),
         "fig1": lambda: exp.run_fig1(),
         "fig2": lambda: exp.run_fig2(),
-        "fig3": lambda: exp.run_fig3(n_workers=4),
+        "fig3": lambda: exp.run_fig3(
+            n_workers=fig3_workers, backend=args.backend, chunk_packets=args.chunk_packets
+        ),
         "fig4": lambda: exp.run_fig4(),
         "expectations": lambda: exp.run_palu_expectations(),
         "recovery": lambda: exp.run_palu_recovery(),

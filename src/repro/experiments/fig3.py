@@ -31,11 +31,20 @@ from repro.streaming.trace_generator import TraceConfig, generate_trace_from_gra
 __all__ = ["run_fig3_scenario", "run_fig3"]
 
 
-def run_fig3_scenario(scenario: Scenario, *, n_workers: int = 1) -> dict:
+def run_fig3_scenario(
+    scenario: Scenario,
+    *,
+    n_workers: int | None = None,
+    backend: str | None = None,
+    chunk_packets: int | None = None,
+) -> dict:
     """Run one Figure-3 panel reproduction end to end.
 
-    Returns a dict row with the fitted and paper parameters plus fit-quality
-    diagnostics (see module docstring).
+    The analysis runs on the requested execution backend (serial, process,
+    or streaming — all produce identical pooled distributions); *chunk_packets*
+    bounds the windower's buffer under the streaming backend.  Returns a dict
+    row with the fitted and paper parameters plus fit-quality diagnostics
+    (see module docstring).
     """
     palu = generate_palu_graph(scenario.parameters, n_nodes=scenario.n_nodes, rng=scenario.seed)
     config = TraceConfig(
@@ -44,7 +53,14 @@ def run_fig3_scenario(scenario: Scenario, *, n_workers: int = 1) -> dict:
         rate_exponent=scenario.rate_exponent,
     )
     trace = generate_trace_from_graph(palu, config, rng=scenario.seed + 1)
-    analysis = analyze_trace(trace, scenario.n_valid, quantities=(scenario.quantity,), n_workers=n_workers)
+    analysis = analyze_trace(
+        trace,
+        scenario.n_valid,
+        quantities=(scenario.quantity,),
+        n_workers=n_workers,
+        backend=backend,
+        chunk_packets=chunk_packets,
+    )
     pooled = analysis.pooled(scenario.quantity)
     dmax = analysis.dmax(scenario.quantity)
     zm_fit = analysis.fit_zipf_mandelbrot(scenario.quantity)
@@ -73,9 +89,14 @@ def run_fig3_scenario(scenario: Scenario, *, n_workers: int = 1) -> dict:
 def run_fig3(
     scenarios: Sequence[Scenario] = FIG3_SCENARIOS,
     *,
-    n_workers: int = 1,
+    n_workers: int | None = None,
+    backend: str | None = None,
+    chunk_packets: int | None = None,
     limit: int | None = None,
 ) -> list:
     """Run the full Figure-3 scenario sweep (optionally the first *limit* panels)."""
     selected = list(scenarios)[: limit if limit is not None else len(list(scenarios))]
-    return [run_fig3_scenario(s, n_workers=n_workers) for s in selected]
+    return [
+        run_fig3_scenario(s, n_workers=n_workers, backend=backend, chunk_packets=chunk_packets)
+        for s in selected
+    ]

@@ -13,9 +13,10 @@ subpackage provides a laptop-scale replacement for that pipeline:
 * :mod:`repro.streaming.sparse_image` — the sparse matrix ``A_t``,
 * :mod:`repro.streaming.aggregates` — Table-I aggregates and Figure-1
   per-node/per-link quantities,
-* :mod:`repro.streaming.pipeline` — trace → windows → histograms → pooled
-  distributions, with optional multiprocessing over windows
-  (:mod:`repro.streaming.parallel`).
+* :mod:`repro.streaming.pipeline` — the single-pass analysis engine:
+  trace → windows → histograms → running pooled distributions, executed on a
+  pluggable backend (:mod:`repro.streaming.parallel` — serial, process pool,
+  or bounded-memory streaming with prefetch).
 """
 
 from repro.streaming.aggregates import (
@@ -25,18 +26,33 @@ from repro.streaming.aggregates import (
     network_quantities,
 )
 from repro.streaming.packet import PACKET_DTYPE, PacketTrace, concatenate_traces
-from repro.streaming.parallel import map_windows
-from repro.streaming.pipeline import WindowedAnalysis, analyze_trace, analyze_windows
+from repro.streaming.parallel import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    StreamingBackend,
+    get_backend,
+    map_windows,
+)
+from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, analyze_trace, analyze_windows
 from repro.streaming.sparse_image import TrafficImage, traffic_image
 from repro.streaming.trace_generator import TraceConfig, generate_trace, generate_trace_from_graph
-from repro.streaming.trace_io import load_trace, save_trace
+from repro.streaming.trace_io import (
+    iter_trace_chunks,
+    load_trace,
+    rechunk,
+    save_trace,
+    save_trace_sharded,
+    trace_format,
+)
 from repro.streaming.weighted import (
     WEIGHTED_QUANTITY_NAMES,
     byte_histograms,
     byte_image,
     weighted_quantities,
 )
-from repro.streaming.window import count_windows, iter_windows
+from repro.streaming.window import ChunkedWindower, count_windows, iter_windows, iter_windows_chunked
 
 __all__ = [
     "AggregateProperties",
@@ -46,7 +62,14 @@ __all__ = [
     "PACKET_DTYPE",
     "PacketTrace",
     "concatenate_traces",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "StreamingBackend",
+    "get_backend",
     "map_windows",
+    "StreamAnalyzer",
     "WindowedAnalysis",
     "analyze_trace",
     "analyze_windows",
@@ -55,12 +78,18 @@ __all__ = [
     "TraceConfig",
     "generate_trace",
     "generate_trace_from_graph",
+    "iter_trace_chunks",
     "load_trace",
+    "rechunk",
     "save_trace",
+    "save_trace_sharded",
+    "trace_format",
     "WEIGHTED_QUANTITY_NAMES",
     "byte_histograms",
     "byte_image",
     "weighted_quantities",
+    "ChunkedWindower",
     "count_windows",
     "iter_windows",
+    "iter_windows_chunked",
 ]

@@ -1,31 +1,60 @@
-"""Process-level parallelism over traffic windows.
+"""Pluggable execution backends for the window-analysis map.
 
 The paper's measurements were produced on an interactive supercomputer with
-sparse-matrix parallelism; the laptop-scale equivalent here is a
-``multiprocessing`` pool mapping an analysis function over the windows of a
-trace.  Windows are independent by construction (each aggregates a disjoint
-slice of packets), so the map is embarrassingly parallel; results are
-returned in window order regardless of completion order.
+sparse-matrix parallelism; the laptop-scale equivalent here is a family of
+execution strategies behind one :class:`ExecutionBackend` protocol.  Windows
+are independent by construction (each aggregates a disjoint slice of
+packets), so the map is embarrassingly parallel and the substrate can be
+swapped beneath a stable analysis API:
 
-The public entry point :func:`map_windows` degrades gracefully: with
-``n_workers <= 1`` (the default) it runs serially in-process, which keeps
-debugging and test runs deterministic and avoids pool start-up overhead for
-small workloads.
+* :class:`SerialBackend` — in-process, lazy, deterministic; the default and
+  the debugging baseline.
+* :class:`ProcessBackend` — a ``multiprocessing`` pool driven through
+  ``imap`` so results stream back in window order as they complete instead
+  of barriering behind a single ``map`` call; the chunksize is derived
+  automatically from the workload (:func:`default_chunksize`).
+* :class:`StreamingBackend` — bounded-memory single-pass execution that
+  overlaps window production (I/O, decompression, windowing) with analysis
+  through a fixed-depth prefetch queue fed by a background thread; at most
+  ``prefetch`` windows exist at any moment.
+
+All three yield results **in window order**, which is what lets the
+incremental consumer (:class:`repro.streaming.pipeline.StreamAnalyzer`) fold
+them into bit-identical pooled aggregates regardless of backend.
+
+The legacy entry point :func:`map_windows` is kept as a list-returning
+wrapper over the serial/process backends.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import queue
+import threading
+from typing import Callable, Iterable, Iterator, List, Protocol, Sequence, TypeVar, Union, runtime_checkable
 
 from repro._util.logging import get_logger
-from repro.streaming.packet import PacketTrace
+from repro._util.validation import check_positive_int
 
-__all__ = ["map_windows", "default_worker_count"]
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "StreamingBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "map_windows",
+    "default_worker_count",
+    "default_chunksize",
+]
 
 _T = TypeVar("_T")
+_R = TypeVar("_R")
 _logger = get_logger("streaming.parallel")
+
+#: Names accepted by :func:`get_backend` (and the CLI ``--backend`` flag).
+BACKEND_NAMES = ("serial", "process", "streaming")
 
 
 def default_worker_count(*, reserve: int = 2, maximum: int = 16) -> int:
@@ -34,43 +63,223 @@ def default_worker_count(*, reserve: int = 2, maximum: int = 16) -> int:
     return max(1, min(cpus - reserve, maximum))
 
 
+def default_chunksize(n_items: int, n_workers: int) -> int:
+    """Windows handed to a worker per task: ``max(1, n // (4·workers))``.
+
+    Four tasks per worker amortises pickling overhead while still letting
+    the pool balance uneven window costs.
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be >= 1")
+    return max(1, n_items // (4 * n_workers))
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Strategy protocol for applying an analysis function to a window stream.
+
+    Implementations expose a ``name`` (one of :data:`BACKEND_NAMES` for the
+    built-ins) and a :meth:`map` that applies *func* to every item of
+    *items*, yielding results **in input order**.  ``map`` must be safe to
+    consume lazily; whether the input iterable is materialized is a backend
+    property (the streaming backend never does).
+    """
+
+    name: str
+
+    def map(self, func: Callable[[_T], _R], items: Iterable[_T]) -> Iterator[_R]:
+        """Apply *func* to every item, yielding results in input order."""
+        ...
+
+
+class SerialBackend:
+    """In-process lazy execution — one window at a time, no buffering."""
+
+    name = "serial"
+
+    def map(self, func: Callable[[_T], _R], items: Iterable[_T]) -> Iterator[_R]:
+        """Apply *func* item-by-item as the result iterator is consumed."""
+        return (func(item) for item in items)
+
+
+class ProcessBackend:
+    """Worker-pool execution streaming results back through ``imap``.
+
+    The input iterable is materialized (the pool needs to pickle tasks out
+    ahead of results coming back), so memory is O(windows); use
+    :class:`StreamingBackend` when the trace does not fit.  Results still
+    stream back one at a time, so downstream folding overlaps with worker
+    compute instead of waiting on a ``pool.map`` barrier.
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None, *, chunksize: int | None = None) -> None:
+        self.n_workers = default_worker_count() if n_workers is None else check_positive_int(n_workers, "n_workers")
+        self.chunksize = None if chunksize is None else check_positive_int(chunksize, "chunksize")
+
+    def map(self, func: Callable[[_T], _R], items: Iterable[_T]) -> Iterator[_R]:
+        """Apply *func* across the pool, yielding results in input order."""
+        item_list: Sequence[_T] = items if isinstance(items, Sequence) else list(items)
+        if not item_list:
+            return iter(())
+        n_workers = min(self.n_workers, len(item_list))
+        if n_workers <= 1:
+            if self.n_workers > 1:
+                _logger.info(
+                    "downgrading to serial execution: %d window(s) cannot occupy %d workers",
+                    len(item_list), self.n_workers,
+                )
+            return SerialBackend().map(func, item_list)
+        chunksize = self.chunksize or default_chunksize(len(item_list), n_workers)
+        _logger.debug(
+            "mapping %d windows across %d workers (chunksize %d)", len(item_list), n_workers, chunksize
+        )
+        return self._imap(func, item_list, n_workers, chunksize)
+
+    @staticmethod
+    def _imap(func, item_list, n_workers, chunksize) -> Iterator:
+        # prefer fork where available: it avoids re-importing the scientific
+        # stack in every worker, which dominates for second-scale workloads
+        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(processes=n_workers) as pool:
+            yield from pool.imap(func, item_list, chunksize=chunksize)
+
+
+class _PrefetchFailure:
+    """Carries a producer-side exception across the prefetch queue."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class StreamingBackend:
+    """Bounded-memory execution overlapping window production with analysis.
+
+    A daemon thread pulls windows from the input iterator into a queue of
+    fixed depth *prefetch* while the consuming thread applies *func*; the
+    queue back-pressures the producer, so at most ``prefetch + 1`` windows
+    are alive at any moment no matter how long the trace is.  Producer
+    exceptions are re-raised at the consumption point; if the consumer
+    raises or abandons the result iterator, the producer is signalled to
+    stop so no thread (or buffered window) outlives the map.
+    """
+
+    name = "streaming"
+
+    def __init__(self, *, prefetch: int = 4) -> None:
+        self.prefetch = check_positive_int(prefetch, "prefetch")
+
+    def map(self, func: Callable[[_T], _R], items: Iterable[_T]) -> Iterator[_R]:
+        """Apply *func* to the stream with a fixed-depth prefetch buffer."""
+        return self._consume(func, iter(items))
+
+    def _consume(self, func, items) -> Iterator:
+        fence = queue.Queue(maxsize=self.prefetch)
+        done = object()
+        stop = threading.Event()
+
+        def put(obj) -> bool:
+            # bounded put that gives up when the consumer has gone away,
+            # so an abandoned map never leaves a thread blocked on a full queue
+            while not stop.is_set():
+                try:
+                    fence.put(obj, timeout=0.05)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
+        def produce() -> None:
+            try:
+                for item in items:
+                    if not put(item):
+                        return
+            except BaseException as error:  # noqa: BLE001 - forwarded to consumer
+                put(_PrefetchFailure(error))
+            else:
+                put(done)
+
+        producer = threading.Thread(target=produce, name="repro-prefetch", daemon=True)
+        producer.start()
+        try:
+            while True:
+                item = fence.get()
+                if item is done:
+                    break
+                if isinstance(item, _PrefetchFailure):
+                    raise item.error
+                yield func(item)
+        finally:
+            stop.set()
+            producer.join(timeout=5.0)
+
+
+def get_backend(
+    backend: Union[str, ExecutionBackend, None] = None,
+    *,
+    n_workers: int | None = None,
+    chunksize: int | None = None,
+    prefetch: int = 4,
+) -> ExecutionBackend:
+    """Resolve a backend specification to an :class:`ExecutionBackend`.
+
+    *backend* may be a name from :data:`BACKEND_NAMES`, an already-built
+    backend instance (returned as-is), or ``None`` — which preserves the
+    historical behaviour of the ``n_workers`` argument: serial unless
+    ``n_workers > 1``, then a process pool.  With ``backend="process"`` an
+    explicit *n_workers* is honoured exactly (``1`` degrades to serial
+    execution, logged); ``None`` picks :func:`default_worker_count`.
+    """
+    if backend is None:
+        if n_workers is not None and n_workers > 1:
+            return ProcessBackend(n_workers, chunksize=chunksize)
+        return SerialBackend()
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "process":
+            return ProcessBackend(n_workers, chunksize=chunksize)
+        if backend == "streaming":
+            return StreamingBackend(prefetch=prefetch)
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    raise TypeError(f"backend must be a name, ExecutionBackend, or None, got {type(backend).__name__}")
+
+
 def map_windows(
-    func: Callable[[PacketTrace], _T],
-    windows: Iterable[PacketTrace],
+    func: Callable[[_T], _R],
+    windows: Iterable[_T],
     *,
     n_workers: int = 1,
-    chunksize: int = 1,
-) -> List[_T]:
+    chunksize: int | None = None,
+) -> List[_R]:
     """Apply *func* to every window, optionally across worker processes.
 
     Parameters
     ----------
     func:
-        Analysis callable taking one :class:`PacketTrace` window.  For
-        multi-process execution it must be picklable (a module-level function
-        or :func:`functools.partial` thereof).
+        Analysis callable taking one window.  For multi-process execution it
+        must be picklable (a module-level function or
+        :func:`functools.partial` thereof).
     windows:
         Iterable of windows (e.g. :func:`repro.streaming.window.iter_windows`).
     n_workers:
         Number of worker processes; ``<= 1`` runs serially in-process.
     chunksize:
-        Windows handed to a worker per task when running in parallel.
+        Windows handed to a worker per task when running in parallel; by
+        default derived from the workload via :func:`default_chunksize`.
 
     Returns
     -------
     list
         One result per window, in window order.
     """
-    window_list: Sequence[PacketTrace] = list(windows)
+    window_list = list(windows)
     if not window_list:
         return []
-    if n_workers <= 1 or len(window_list) == 1:
+    if n_workers <= 1:
         return [func(w) for w in window_list]
-    n_workers = min(n_workers, len(window_list))
-    _logger.debug("mapping %d windows across %d workers", len(window_list), n_workers)
-    # prefer fork where available: it avoids re-importing the scientific stack
-    # in every worker, which dominates the run time for second-scale workloads
-    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-    ctx = multiprocessing.get_context(method)
-    with ctx.Pool(processes=n_workers) as pool:
-        return pool.map(func, window_list, chunksize=max(1, chunksize))
+    return list(ProcessBackend(n_workers, chunksize=chunksize).map(func, window_list))

@@ -3,33 +3,56 @@
 ``trace → N_V windows → A_t → Figure-1 quantities → histograms → pooled
 differential cumulative distributions → (optional) model fits``
 
-:func:`analyze_trace` is the one call behind the Figure-3 reproduction: it
-windows a trace, computes the per-window histograms of each requested
-quantity, pools them with binary-log bins, and aggregates the pooled vectors
-across windows into the mean ``D(d_i)`` and standard deviation ``σ(d_i)``
-that the paper plots with error bars.  Window-level work can be spread over
-worker processes (:mod:`repro.streaming.parallel`).
+:func:`analyze_trace` is the one call behind the Figure-3 reproduction.  It
+is built as a single-pass engine: windows flow through a pluggable
+:class:`~repro.streaming.parallel.ExecutionBackend` into a
+:class:`StreamAnalyzer`, which folds each :class:`WindowResult` into running
+pooled aggregates (mean ``D(d_i)`` and ``σ(d_i)`` via
+:class:`repro.analysis.moments.StreamingMoments`) and incrementally merged
+histograms.  Because the fold happens in window order on every backend, the
+serial, process, and streaming backends produce bit-identical pooled
+distributions; because the fold state is O(bins) per quantity (plus a
+few-integer Table-I row per window, droppable via
+``StreamAnalyzer(keep_aggregates=False)``), the streaming backend can
+analyse an on-disk trace far larger than memory
+(``analyze_trace(path, ..., backend="streaming", chunk_packets=...)``).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+import numpy as np
 
 from repro._util.logging import get_logger
 from repro._util.validation import check_positive_int
 from repro.analysis.histogram import DegreeHistogram
-from repro.analysis.pooling import PooledDistribution, aggregate_pooled, pool_differential_cumulative
+from repro.analysis.moments import StreamingMoments
+from repro.analysis.pooling import PooledDistribution, pool_differential_cumulative
 from repro.core.zm_fit import ZMFitResult, fit_zipf_mandelbrot
 from repro.streaming.aggregates import QUANTITY_NAMES, AggregateProperties, compute_aggregates, quantity_histograms
 from repro.streaming.packet import PacketTrace
-from repro.streaming.parallel import map_windows
+from repro.streaming.parallel import ExecutionBackend, get_backend
 from repro.streaming.sparse_image import traffic_image
-from repro.streaming.window import iter_windows
+from repro.streaming.trace_io import iter_trace_chunks, rechunk
+from repro.streaming.window import ChunkedWindower, iter_windows
 
-__all__ = ["WindowResult", "WindowedAnalysis", "analyze_window", "analyze_windows", "analyze_trace"]
+__all__ = [
+    "WindowResult",
+    "WindowedAnalysis",
+    "StreamAnalyzer",
+    "analyze_window",
+    "analyze_windows",
+    "analyze_trace",
+]
 
 _logger = get_logger("streaming.pipeline")
+
+_NO_WINDOWS_MESSAGE = "no complete windows to analyse; lower n_valid or provide a longer trace"
 
 
 @dataclass(frozen=True)
@@ -44,7 +67,42 @@ class WindowResult:
         return pool_differential_cumulative(self.histograms[quantity])
 
 
+def _fold_pooled(per_window: Iterable[PooledDistribution]) -> PooledDistribution:
+    """Fold per-window pooled vectors into the cross-window mean/σ.
+
+    The one aggregation used everywhere — by :class:`StreamAnalyzer` during
+    the single pass and by :meth:`WindowedAnalysis.pooled` for directly
+    constructed instances — so the result is bit-identical regardless of how
+    the analysis was produced.
+    """
+    moments = StreamingMoments()
+    total = 0
+    for pooled in per_window:
+        moments.update(pooled.values)
+        total += pooled.total
+    edges = 2 ** np.arange(moments.n_bins, dtype=np.int64)
+    return PooledDistribution(
+        bin_edges=edges, values=moments.mean(), sigma=moments.std(ddof=0), total=total
+    )
+
+
 @dataclass(frozen=True)
+class _StreamState:
+    """Products folded by :class:`StreamAnalyzer` during a single pass.
+
+    Carried by :class:`WindowedAnalysis` so pooled distributions, merged
+    histograms, and the aggregates table remain available even when the
+    per-window results themselves were not retained (bounded-memory runs).
+    """
+
+    n_windows: int
+    pooled: Mapping[str, PooledDistribution]
+    merged: Mapping[str, DegreeHistogram]
+    aggregate_rows: Sequence[AggregateProperties]
+    stats: Mapping[str, object]
+
+
+@dataclass(frozen=True, eq=False)
 class WindowedAnalysis:
     """Aggregated analysis of all windows of one trace.
 
@@ -53,7 +111,9 @@ class WindowedAnalysis:
     n_valid:
         The window size ``N_V`` used.
     windows:
-        Per-window results, in stream order.
+        Per-window results, in stream order.  Empty when the analysis was
+        produced by a bounded-memory streaming run (``keep_windows=False``);
+        the cross-window products below remain available either way.
     quantities:
         The quantity names analysed (a subset of
         :data:`repro.streaming.aggregates.QUANTITY_NAMES`).
@@ -62,33 +122,114 @@ class WindowedAnalysis:
     n_valid: int
     windows: Sequence[WindowResult]
     quantities: Sequence[str]
-    _pooled_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _stream: _StreamState | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        # per-instance memo for lazily computed cross-window products; a plain
+        # attribute (not a dataclass field) so it never leaks into equality,
+        # repr, or pickles — see __getstate__/__setstate__
+        object.__setattr__(self, "_memo", {})
+
+    def __eq__(self, other: object) -> bool:
+        # field-wise dataclass equality would compare streamed analyses
+        # (windows=()) solely by n_valid/quantities; compare the actual
+        # analysis products instead — including σ, which is part of the
+        # cross-backend bit-identity guarantee
+        if not isinstance(other, WindowedAnalysis):
+            return NotImplemented
+        if (
+            self.n_valid != other.n_valid
+            or tuple(self.quantities) != tuple(other.quantities)
+            or self.n_windows != other.n_windows
+        ):
+            return False
+
+        def same_optional(a, b) -> bool:
+            if a is None or b is None:
+                return (a is None) == (b is None)
+            return bool(np.array_equal(a, b))
+
+        for q in self.quantities:
+            mine, theirs = self.pooled(q), other.pooled(q)
+            if not (
+                np.array_equal(mine.bin_edges, theirs.bin_edges)
+                and np.array_equal(mine.values, theirs.values)
+                and same_optional(mine.sigma, theirs.sigma)
+                and mine.total == theirs.total
+            ):
+                return False
+        return self.aggregates_table() == other.aggregates_table()
+
+    def __hash__(self) -> int:
+        # coarse but consistent with __eq__ (equal analyses share these keys)
+        return hash((self.n_valid, tuple(self.quantities), self.n_windows))
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_memo", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_memo"] = {}
 
     @property
     def n_windows(self) -> int:
         """Number of complete windows analysed."""
-        return len(self.windows)
+        return self._stream.n_windows if self._stream is not None else len(self.windows)
 
-    def pooled(self, quantity: str) -> PooledDistribution:
-        """Cross-window mean-and-σ pooled distribution of one quantity (Fig. 3 data)."""
+    @property
+    def engine_stats(self) -> Mapping[str, object]:
+        """Execution statistics recorded by the single-pass engine.
+
+        Keys (when produced by :func:`analyze_trace`): ``backend``, and for
+        chunked input also ``max_buffered_packets`` and ``n_chunks``.  Empty
+        for analyses built directly from window results.
+        """
+        return dict(self._stream.stats) if self._stream is not None else {}
+
+    def _check_quantity(self, quantity: str) -> None:
         if quantity not in self.quantities:
             raise KeyError(f"quantity {quantity!r} was not analysed; available: {list(self.quantities)}")
-        if quantity not in self._pooled_cache:
-            per_window = [pool_differential_cumulative(w.histograms[quantity]) for w in self.windows]
-            self._pooled_cache[quantity] = aggregate_pooled(per_window)
-        return self._pooled_cache[quantity]
+
+    def pooled(self, quantity: str) -> PooledDistribution:
+        """Cross-window mean-and-σ pooled distribution of one quantity (Fig. 3 data).
+
+        Computed with the same in-order streaming fold as the engine, so a
+        directly-constructed analysis compares equal to an engine-produced
+        one over the same windows.  (The Welford fold agrees with the
+        stacked two-pass :func:`repro.analysis.pooling.aggregate_pooled`
+        only to floating-point tolerance, not bitwise — they are different
+        computations of the same moments.)
+        """
+        self._check_quantity(quantity)
+        if self._stream is not None:
+            return self._stream.pooled[quantity]
+        memo = self._memo
+        if ("pooled", quantity) not in memo:
+            memo[("pooled", quantity)] = _fold_pooled(
+                pool_differential_cumulative(w.histograms[quantity]) for w in self.windows
+            )
+        return memo[("pooled", quantity)]
 
     def merged_histogram(self, quantity: str) -> DegreeHistogram:
         """Counts of one quantity summed over every window."""
-        if quantity not in self.quantities:
-            raise KeyError(f"quantity {quantity!r} was not analysed; available: {list(self.quantities)}")
-        merged = self.windows[0].histograms[quantity]
-        for w in self.windows[1:]:
-            merged = merged.merge(w.histograms[quantity])
-        return merged
+        self._check_quantity(quantity)
+        if self._stream is not None:
+            return self._stream.merged[quantity]
+        memo = self._memo
+        if ("merged", quantity) not in memo:
+            merged = self.windows[0].histograms[quantity]
+            for w in self.windows[1:]:
+                merged = merged.merge(w.histograms[quantity])
+            memo[("merged", quantity)] = merged
+        return memo[("merged", quantity)]
 
     def dmax(self, quantity: str) -> int:
         """Largest observed value of one quantity across all windows."""
+        self._check_quantity(quantity)
+        if self._stream is not None:
+            return self._stream.merged[quantity].dmax
         return max(w.histograms[quantity].dmax for w in self.windows)
 
     def fit_zipf_mandelbrot(self, quantity: str, **kwargs) -> ZMFitResult:
@@ -98,7 +239,98 @@ class WindowedAnalysis:
 
     def aggregates_table(self) -> list:
         """Per-window Table-I aggregates, one dict row per window."""
+        if self._stream is not None:
+            return [aggregates.as_row() for aggregates in self._stream.aggregate_rows]
         return [w.aggregates.as_row() for w in self.windows]
+
+
+class StreamAnalyzer:
+    """Incremental consumer folding window results into running aggregates.
+
+    Feed :class:`WindowResult`\\ s in stream order via :meth:`update`; the
+    analyzer maintains, per quantity, a running pooled mean/σ
+    (:class:`~repro.analysis.moments.StreamingMoments` over the per-window
+    pooled vectors) and an incrementally merged histogram, plus (by default)
+    the Table-I aggregates row per window.  The distribution fold state is
+    O(bins) — independent of the number of windows — so arbitrarily long
+    traces can be analysed in a single pass without retaining per-window
+    products (``keep_windows=False``, the default); the aggregates table is
+    the one O(windows) product kept, a few integers per window — pass
+    ``keep_aggregates=False`` to drop it too on unbounded streams.
+
+    The fold is order-sensitive in floating point; every execution backend
+    yields results in window order, which makes the resulting pooled
+    distributions bit-identical across backends.
+    """
+
+    def __init__(
+        self,
+        n_valid: int,
+        quantities: Sequence[str] = QUANTITY_NAMES,
+        *,
+        keep_windows: bool = False,
+        keep_aggregates: bool = True,
+    ) -> None:
+        self.n_valid = check_positive_int(n_valid, "n_valid")
+        unknown = set(quantities) - set(QUANTITY_NAMES)
+        if unknown:
+            raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
+        self.quantities = tuple(quantities)
+        self._moments = {q: StreamingMoments() for q in self.quantities}
+        self._totals = {q: 0 for q in self.quantities}
+        self._merged: dict[str, DegreeHistogram | None] = {q: None for q in self.quantities}
+        self._aggregates: list[AggregateProperties] | None = [] if keep_aggregates else None
+        self._windows: list[WindowResult] | None = [] if keep_windows else None
+        self._n_windows = 0
+
+    @property
+    def n_windows(self) -> int:
+        """Number of window results folded in so far."""
+        return self._n_windows
+
+    def update(self, result: WindowResult) -> None:
+        """Fold one window result into the running aggregates."""
+        self._n_windows += 1
+        if self._aggregates is not None:
+            self._aggregates.append(result.aggregates)
+        for quantity in self.quantities:
+            histogram = result.histograms[quantity]
+            pooled = pool_differential_cumulative(histogram)
+            self._moments[quantity].update(pooled.values)
+            self._totals[quantity] += pooled.total
+            merged = self._merged[quantity]
+            self._merged[quantity] = histogram if merged is None else merged.merge(histogram)
+        if self._windows is not None:
+            self._windows.append(result)
+
+    def pooled(self, quantity: str) -> PooledDistribution:
+        """Current cross-window pooled distribution of one quantity."""
+        moments = self._moments[quantity]
+        edges = 2 ** np.arange(moments.n_bins, dtype=np.int64)
+        return PooledDistribution(
+            bin_edges=edges,
+            values=moments.mean(),
+            sigma=moments.std(ddof=0),
+            total=self._totals[quantity],
+        )
+
+    def result(self, *, stats: Mapping[str, object] | None = None) -> WindowedAnalysis:
+        """Finalize into a :class:`WindowedAnalysis` (raises if no windows)."""
+        if self.n_windows == 0:
+            raise ValueError(_NO_WINDOWS_MESSAGE)
+        state = _StreamState(
+            n_windows=self.n_windows,
+            pooled={q: self.pooled(q) for q in self.quantities},
+            merged={q: self._merged[q] for q in self.quantities},
+            aggregate_rows=tuple(self._aggregates or ()),
+            stats=dict(stats or {}),
+        )
+        return WindowedAnalysis(
+            n_valid=self.n_valid,
+            windows=tuple(self._windows) if self._windows is not None else (),
+            quantities=self.quantities,
+            _stream=state,
+        )
 
 
 def analyze_window(window: PacketTrace) -> WindowResult:
@@ -115,49 +347,102 @@ def analyze_windows(
     *,
     n_valid: int,
     quantities: Sequence[str] = QUANTITY_NAMES,
-    n_workers: int = 1,
+    n_workers: int | None = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    keep_windows: bool = True,
 ) -> WindowedAnalysis:
     """Analyse pre-cut windows (used directly by the parallel benchmarks)."""
-    unknown = set(quantities) - set(QUANTITY_NAMES)
-    if unknown:
-        raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
-    results = map_windows(analyze_window, windows, n_workers=n_workers)
-    if not results:
-        raise ValueError("no complete windows to analyse; lower n_valid or provide a longer trace")
-    return WindowedAnalysis(n_valid=n_valid, windows=results, quantities=tuple(quantities))
+    backend_impl = get_backend(backend, n_workers=n_workers)
+    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    for result in backend_impl.map(analyze_window, windows):
+        analyzer.update(result)
+    return analyzer.result(stats={"backend": backend_impl.name})
 
 
 def analyze_trace(
-    trace: PacketTrace,
+    trace: Union[PacketTrace, str, os.PathLike, Iterable[PacketTrace]],
     n_valid: int,
     *,
     quantities: Sequence[str] = QUANTITY_NAMES,
-    n_workers: int = 1,
+    n_workers: int | None = None,
     max_windows: int | None = None,
+    backend: Union[str, ExecutionBackend, None] = None,
+    chunk_packets: int | None = None,
+    keep_windows: bool | None = None,
 ) -> WindowedAnalysis:
-    """Window a trace and analyse every complete ``N_V`` window.
+    """Window a trace and analyse every complete ``N_V`` window in one pass.
 
     Parameters
     ----------
     trace:
-        The packet trace to analyse.
+        The packet trace to analyse: an in-memory :class:`PacketTrace`, the
+        path of a stored trace (v1 ``.npz`` or v2 sharded directory — the
+        latter is read shard-by-shard, never whole), or an iterator of trace
+        chunks.
     n_valid:
         Window size ``N_V`` in valid packets.
     quantities:
         Which Figure-1 quantities to histogram (all five by default).
     n_workers:
-        Worker processes for the per-window analysis (serial by default).
+        Worker processes for the per-window analysis.  Unset (``None``)
+        means serial, or an automatic worker count under
+        ``backend="process"``; an explicit value is honoured exactly.
     max_windows:
         Optionally cap the number of windows analysed (useful for quick
         looks at very long traces).
+    backend:
+        Execution backend: ``"serial"``, ``"process"``, ``"streaming"``, an
+        :class:`~repro.streaming.parallel.ExecutionBackend` instance, or
+        ``None`` to derive serial/process from *n_workers* as before.  All
+        backends produce bit-identical pooled distributions.
+    chunk_packets:
+        Read/cut the trace in chunks of this many packets.  With the
+        streaming backend this bounds peak memory by the chunk size (plus
+        one window) instead of the trace length.
+    keep_windows:
+        Retain per-window :class:`WindowResult`\\ s on the returned analysis.
+        Defaults to ``True`` except under the streaming backend, whose point
+        is not to.
 
     Returns
     -------
     WindowedAnalysis
     """
     n_valid = check_positive_int(n_valid, "n_valid")
-    windows = list(iter_windows(trace, n_valid))
+    backend_impl = get_backend(backend, n_workers=n_workers)
+    if keep_windows is None:
+        keep_windows = backend_impl.name != "streaming"
+
+    windower: ChunkedWindower | None = None
+    if isinstance(trace, (str, os.PathLike, Path)):
+        windower = ChunkedWindower(iter_trace_chunks(trace, chunk_packets), n_valid)
+        windows: Iterator[PacketTrace] = iter(windower)
+    elif isinstance(trace, PacketTrace):
+        if chunk_packets is not None:
+            windower = ChunkedWindower(trace.iter_chunks(int(chunk_packets)), n_valid)
+            windows = iter(windower)
+        else:
+            windows = iter_windows(trace, n_valid)
+    elif isinstance(trace, Iterable):
+        # re-cut the caller's chunks so chunk_packets bounds the buffer here too
+        chunks = trace if chunk_packets is None else rechunk(trace, int(chunk_packets))
+        windower = ChunkedWindower(chunks, n_valid)
+        windows = iter(windower)
+    else:
+        raise TypeError(
+            f"trace must be a PacketTrace, a stored-trace path, or an iterable of chunks, "
+            f"got {type(trace).__name__}"
+        )
     if max_windows is not None:
-        windows = windows[: int(max_windows)]
-    _logger.debug("analysing %d windows of %d valid packets", len(windows), n_valid)
-    return analyze_windows(windows, n_valid=n_valid, quantities=quantities, n_workers=n_workers)
+        windows = itertools.islice(windows, int(max_windows))
+
+    _logger.debug("analysing windows of %d valid packets via %s backend", n_valid, backend_impl.name)
+    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    for result in backend_impl.map(analyze_window, windows):
+        analyzer.update(result)
+    stats: dict[str, object] = {"backend": backend_impl.name}
+    if windower is not None:
+        # read after the fold so the high-water mark covers the whole pass
+        stats["max_buffered_packets"] = windower.max_buffered_packets
+        stats["n_chunks"] = windower.n_chunks
+    return analyzer.result(stats=stats)

@@ -1,56 +1,222 @@
 """Trace persistence.
 
-Synthetic traces (and any externally converted captures) are stored as
-compressed ``.npz`` archives holding the packet record columns.  The format
-is deliberately minimal — five named arrays plus a format-version marker —
-so that traces generated once can be reused across benchmark runs without
-regenerating multi-million-packet streams.
+Two on-disk formats are supported:
+
+* **v1** — a single compressed ``.npz`` archive holding the packet record
+  columns plus a format-version marker.  Minimal and convenient, but it can
+  only be read whole, so analysis memory grows with trace length.
+* **v2** — a *sharded* trace: a directory containing a ``manifest.json``
+  plus consecutive ``shard-NNNNN.npz`` files, each holding a bounded number
+  of packets.  Shards can be read one at a time, which is what lets the
+  streaming engine (:func:`repro.streaming.pipeline.analyze_trace` with
+  ``backend="streaming"``) analyse traces far larger than memory.
+
+:func:`save_trace` / :func:`load_trace` keep their v1 behaviour
+(:func:`load_trace` transparently reads either format);
+:func:`save_trace_sharded` writes v2 and :func:`iter_trace_chunks` is the
+out-of-core read path shared by both formats (for v1 it degrades to
+load-then-chunk, since ``.npz`` archives are not seekable per-row).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Iterator, Union
 
 import numpy as np
 
+from repro._util.validation import check_positive_int
 from repro.streaming.packet import PACKET_DTYPE, PacketTrace
 
-__all__ = ["save_trace", "load_trace"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "save_trace_sharded",
+    "iter_trace_chunks",
+    "rechunk",
+    "trace_format",
+]
 
-#: Format version written into every archive.
+#: Format version written into every single-file archive.
 _FORMAT_VERSION = 1
+#: Format version recorded in the manifest of a sharded trace.
+_SHARDED_VERSION = 2
+#: Manifest file name inside a sharded-trace directory.
+_MANIFEST_NAME = "manifest.json"
+#: Default shard size (packets) for :func:`save_trace_sharded`.
+DEFAULT_SHARD_PACKETS = 250_000
+
+_COLUMNS = ("src", "dst", "time", "size", "valid")
 
 
 def save_trace(trace: PacketTrace, path: Union[str, os.PathLike]) -> Path:
-    """Write *trace* to a compressed ``.npz`` archive and return the path."""
+    """Write *trace* to a compressed v1 ``.npz`` archive and return the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path,
         version=np.int64(_FORMAT_VERSION),
-        src=trace.packets["src"],
-        dst=trace.packets["dst"],
-        time=trace.packets["time"],
-        size=trace.packets["size"],
-        valid=trace.packets["valid"],
+        **{column: trace.packets[column] for column in _COLUMNS},
     )
     # numpy appends .npz when missing; normalise the returned path
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
+def _records_from_archive(archive) -> np.ndarray:
+    """Rebuild a packet record array from the named columns of one archive."""
+    n = archive["src"].size
+    records = np.empty(n, dtype=PACKET_DTYPE)
+    for column in _COLUMNS:
+        records[column] = archive[column]
+    return records
+
+
+def trace_format(path: Union[str, os.PathLike]) -> int:
+    """Return the on-disk format version of a stored trace (1 or 2)."""
+    path = Path(path)
+    if path.is_dir():
+        manifest = path / _MANIFEST_NAME
+        if not manifest.is_file():
+            raise ValueError(f"{path} is a directory but holds no {_MANIFEST_NAME}; not a sharded trace")
+        return _SHARDED_VERSION
+    return _FORMAT_VERSION
+
+
+def _read_manifest(path: Path) -> dict:
+    with open(path / _MANIFEST_NAME, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    version = int(manifest.get("version", -1))
+    if version != _SHARDED_VERSION:
+        raise ValueError(f"unsupported sharded trace format version {version}")
+    return manifest
+
+
+def save_trace_sharded(
+    trace: Union[PacketTrace, Iterable[PacketTrace]],
+    path: Union[str, os.PathLike],
+    *,
+    shard_packets: int = DEFAULT_SHARD_PACKETS,
+) -> Path:
+    """Write a v2 sharded trace directory and return its path.
+
+    *trace* may be a :class:`PacketTrace` or an iterator of chunks (so huge
+    traces can be written without ever being materialized); chunks are
+    re-cut into shards of exactly *shard_packets* packets (last one short).
+    Re-saving over an existing sharded trace replaces it: stale shards from
+    a previous (longer) save are removed so the directory never mixes runs.
+    """
+    shard_packets = check_positive_int(shard_packets, "shard_packets")
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ValueError(
+            f"{path} already exists as a file (a v1 trace?); a sharded trace needs a "
+            "directory — pick another path or remove the file first"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    for stale in path.glob("shard-*.npz"):
+        stale.unlink()
+    manifest_path = path / _MANIFEST_NAME
+    if manifest_path.exists():
+        manifest_path.unlink()
+    chunks = trace.iter_chunks(shard_packets) if isinstance(trace, PacketTrace) else iter(trace)
+    shards = []
+    n_packets = 0
+    n_valid = 0
+    for index, shard in enumerate(rechunk(chunks, shard_packets)):
+        name = f"shard-{index:05d}.npz"
+        np.savez_compressed(
+            path / name,
+            **{column: shard.packets[column] for column in _COLUMNS},
+        )
+        shards.append({"file": name, "n_packets": shard.n_packets, "n_valid": shard.n_valid})
+        n_packets += shard.n_packets
+        n_valid += shard.n_valid
+    manifest = {
+        "version": _SHARDED_VERSION,
+        "shard_packets": shard_packets,
+        "n_packets": n_packets,
+        "n_valid": n_valid,
+        "shards": shards,
+    }
+    with open(path / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+    return path
+
+
 def load_trace(path: Union[str, os.PathLike]) -> PacketTrace:
-    """Load a trace previously written by :func:`save_trace`."""
-    with np.load(Path(path)) as archive:
+    """Load a trace written by :func:`save_trace` or :func:`save_trace_sharded`."""
+    path = Path(path)
+    if trace_format(path) == _SHARDED_VERSION:
+        chunks = list(iter_trace_chunks(path))
+        if not chunks:
+            return PacketTrace.empty()
+        return PacketTrace(np.concatenate([c.packets for c in chunks]))
+    with np.load(path) as archive:
         version = int(archive["version"])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported trace format version {version}")
-        n = archive["src"].size
-        records = np.empty(n, dtype=PACKET_DTYPE)
-        records["src"] = archive["src"]
-        records["dst"] = archive["dst"]
-        records["time"] = archive["time"]
-        records["size"] = archive["size"]
-        records["valid"] = archive["valid"]
+        records = _records_from_archive(archive)
     return PacketTrace(records)
+
+
+def iter_trace_chunks(
+    path: Union[str, os.PathLike],
+    chunk_packets: int | None = None,
+) -> Iterator[PacketTrace]:
+    """Stream a stored trace as consecutive :class:`PacketTrace` chunks.
+
+    For a v2 sharded trace this reads one shard at a time — memory stays
+    O(shard) regardless of trace length.  For a v1 single-file trace the
+    archive must be loaded whole before chunking (``.npz`` offers no partial
+    reads); convert with :func:`save_trace_sharded` for true out-of-core use.
+
+    ``chunk_packets`` re-cuts the stored shards to a chosen chunk size
+    (splitting and coalescing across shard boundaries as needed); by default
+    the stored shard boundaries are used as-is.
+    """
+    path = Path(path)
+    if chunk_packets is not None:
+        chunk_packets = check_positive_int(chunk_packets, "chunk_packets")
+    if trace_format(path) == _SHARDED_VERSION:
+        chunks = _iter_shards(path)
+        if chunk_packets is not None:
+            chunks = rechunk(chunks, chunk_packets)
+        return chunks
+    trace = load_trace(path)
+    # iter_chunks already cuts to the exact size; no rechunk pass needed
+    return trace.iter_chunks(chunk_packets or max(1, trace.n_packets))
+
+
+def _iter_shards(path: Path) -> Iterator[PacketTrace]:
+    """Yield the shards of a v2 trace in manifest order, one at a time."""
+    manifest = _read_manifest(path)
+    for entry in manifest["shards"]:
+        with np.load(path / entry["file"]) as archive:
+            records = _records_from_archive(archive)
+        yield PacketTrace(records)
+
+
+def rechunk(chunks: Iterable[PacketTrace], chunk_packets: int) -> Iterator[PacketTrace]:
+    """Re-cut a chunk stream into chunks of exactly *chunk_packets* packets.
+
+    The final chunk may be short.  Only up to one output chunk is buffered,
+    so re-chunking preserves the out-of-core property of the input stream.
+    """
+    chunk_packets = check_positive_int(chunk_packets, "chunk_packets")
+    pending: list[np.ndarray] = []
+    n_pending = 0
+    for chunk in chunks:
+        arr = chunk.packets
+        while arr.size:
+            take = min(int(arr.size), chunk_packets - n_pending)
+            pending.append(arr[:take])
+            n_pending += take
+            arr = arr[take:]
+            if n_pending == chunk_packets:
+                yield PacketTrace(pending[0] if len(pending) == 1 else np.concatenate(pending))
+                pending = []
+                n_pending = 0
+    if n_pending:
+        yield PacketTrace(pending[0] if len(pending) == 1 else np.concatenate(pending))

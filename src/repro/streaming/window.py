@@ -7,18 +7,24 @@ windows each containing exactly ``N_V`` valid packets (invalid packets ride
 along inside whichever window they fall into but do not count toward the
 budget); a trailing partial window is dropped so every emitted window is
 statistically comparable.
+
+:class:`ChunkedWindower` is the out-of-core counterpart: it consumes an
+iterator of trace *chunks* (e.g. :func:`repro.streaming.trace_io.iter_trace_chunks`)
+and yields exactly the same windows as :func:`iter_windows` would on the
+concatenated trace, while only ever buffering one chunk plus the leftover
+packets of the current incomplete window.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro._util.validation import check_positive_int
 from repro.streaming.packet import PacketTrace
 
-__all__ = ["iter_windows", "count_windows", "window_boundaries"]
+__all__ = ["iter_windows", "iter_windows_chunked", "ChunkedWindower", "count_windows", "window_boundaries"]
 
 
 def window_boundaries(trace: PacketTrace, n_valid: int) -> np.ndarray:
@@ -56,3 +62,67 @@ def iter_windows(trace: PacketTrace, n_valid: int) -> Iterator[PacketTrace]:
     boundaries = window_boundaries(trace, n_valid)
     for k in range(boundaries.size - 1):
         yield trace.slice(int(boundaries[k]), int(boundaries[k + 1]))
+
+
+class ChunkedWindower:
+    """Single-pass windower over an iterator of trace chunks.
+
+    The buffer always starts at a window boundary (emitted windows are cut
+    off the front), so window boundaries computed chunk-locally coincide with
+    the global boundaries of the concatenated trace: for any chunking of a
+    trace, ``ChunkedWindower(chunks, n_valid)`` yields packet-identical
+    windows to ``iter_windows(full_trace, n_valid)``.
+
+    Attributes
+    ----------
+    max_buffered_packets:
+        High-water mark of the internal packet buffer — bounded by the
+        largest chunk plus one window's worth of leftover packets, which is
+        what makes the streaming engine's memory O(chunk), not O(trace).
+    n_chunks:
+        Number of chunks consumed so far.
+    """
+
+    def __init__(self, chunks: Iterable[PacketTrace], n_valid: int) -> None:
+        self.n_valid = check_positive_int(n_valid, "n_valid")
+        self._chunks = iter(chunks)
+        self.max_buffered_packets = 0
+        self.n_chunks = 0
+
+    def __iter__(self) -> Iterator[PacketTrace]:
+        # accumulate chunk arrays and only concatenate once a window's worth
+        # of valid packets is buffered — work per window stays O(window span)
+        # even when chunks are tiny relative to the window
+        parts: list[np.ndarray] = []
+        n_buffered = 0
+        valid_buffered = 0
+        for chunk in self._chunks:
+            if not isinstance(chunk, PacketTrace):
+                raise TypeError(f"chunks must be PacketTrace instances, got {type(chunk).__name__}")
+            self.n_chunks += 1
+            if chunk.n_packets == 0:
+                continue
+            parts.append(chunk.packets)
+            n_buffered += chunk.n_packets
+            valid_buffered += chunk.n_valid
+            self.max_buffered_packets = max(self.max_buffered_packets, n_buffered)
+            if valid_buffered < self.n_valid:
+                continue
+            buffered = PacketTrace(parts[0] if len(parts) == 1 else np.concatenate(parts))
+            boundaries = window_boundaries(buffered, self.n_valid)
+            for k in range(boundaries.size - 1):
+                yield buffered.slice(int(boundaries[k]), int(boundaries[k + 1]))
+            leftover = buffered.packets[int(boundaries[-1]):]
+            parts = [leftover] if leftover.size else []
+            n_buffered = int(leftover.size)
+            valid_buffered -= (boundaries.size - 1) * self.n_valid
+        # the trailing partial window (if any) is dropped, matching iter_windows
+
+
+def iter_windows_chunked(chunks: Iterable[PacketTrace], n_valid: int) -> ChunkedWindower:
+    """Window an iterator of trace chunks without materializing the trace.
+
+    Thin constructor around :class:`ChunkedWindower`; iterate the returned
+    object to get the windows, then read its buffering statistics.
+    """
+    return ChunkedWindower(chunks, n_valid)

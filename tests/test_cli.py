@@ -82,6 +82,65 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "█" in out
 
+    def test_analyze_backend_choices_validated(self, trace_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", str(trace_file), "--backend", "gpu"])
+
+    def test_analyze_streaming_backend(self, trace_file, capsys):
+        code = main(
+            [
+                "analyze", str(trace_file),
+                "--nv", "20000",
+                "--quantities", "source_fanout",
+                "--backend", "streaming",
+                "--chunk-packets", "10000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=streaming" in out
+        assert "Table-I aggregates" in out
+
+    def test_backends_print_identical_fits(self, trace_file, capsys):
+        main(["analyze", str(trace_file), "--nv", "20000", "--backend", "serial"])
+        serial_out = capsys.readouterr().out
+        main(
+            [
+                "analyze", str(trace_file),
+                "--nv", "20000",
+                "--backend", "streaming",
+                "--chunk-packets", "15000",
+            ]
+        )
+        streaming_out = capsys.readouterr().out
+        # everything after the engine banner (fits, tables) must agree exactly
+        marker = "windows of N_V"
+        assert serial_out.split(marker)[1] == streaming_out.split(marker)[1]
+
+
+class TestGenerateSharded:
+    def test_sharded_generate_and_streaming_analyze(self, tmp_path, capsys):
+        path = tmp_path / "trace-v2"
+        code = main(
+            [
+                "generate", str(path),
+                "--nodes", "2000", "--packets", "30000",
+                "--seed", "5", "--shard-packets", "8000",
+            ]
+        )
+        assert code == 0
+        assert (path / "manifest.json").is_file()
+        code = main(
+            [
+                "analyze", str(path),
+                "--nv", "10000",
+                "--quantities", "source_fanout",
+                "--backend", "streaming",
+            ]
+        )
+        assert code == 0
+        assert "backend=streaming" in capsys.readouterr().out
+
 
 class TestFit:
     def test_fit_prints_model_comparison(self, trace_file, capsys):
