@@ -1,0 +1,83 @@
+"""Benchmark — scenario generation + analysis through the engine backends.
+
+Times :func:`repro.scenarios.analyze_scenario` (generation, windowing, and
+the per-phase fold in one pass) for a representative slice of the built-in
+catalogue on the serial and streaming backends, and writes a
+``BENCH_scenarios.json`` artifact so the scenario subsystem's perf
+trajectory is tracked across PRs.  Backend equality of the pooled output is
+asserted as the cases run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.scenarios import analyze_scenario, get_scenario
+from repro.streaming.aggregates import QUANTITY_NAMES
+
+SEED = 20210329
+N_VALID = 5_000
+CHUNK_PACKETS = 10_000
+SCENARIOS = ("stationary", "alpha-drift", "flash-crowd")
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+_RESULTS: dict[str, dict] = {}
+_SERIAL_POOLED: dict[str, dict[str, np.ndarray]] = {}
+
+
+def _run(name: str, backend: str):
+    kwargs = {"backend": backend, "keep_windows": False}
+    if backend == "streaming":
+        kwargs["chunk_packets"] = CHUNK_PACKETS
+    return analyze_scenario(name, N_VALID, seed=SEED, **kwargs)
+
+
+@pytest.mark.parametrize("backend", ["serial", "streaming"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_bench_scenarios(benchmark, scenario, backend):
+    start = time.perf_counter()
+    run = benchmark.pedantic(_run, args=(scenario, backend), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+
+    assert run.analysis.n_windows > 0
+    if backend == "serial":
+        _SERIAL_POOLED[scenario] = {
+            q: run.analysis.pooled(q).values for q in QUANTITY_NAMES
+        }
+    elif scenario in _SERIAL_POOLED:
+        for quantity in QUANTITY_NAMES:
+            assert np.array_equal(
+                run.analysis.pooled(quantity).values, _SERIAL_POOLED[scenario][quantity]
+            )
+
+    row = {
+        "scenario": scenario,
+        "backend": backend,
+        "seconds": round(elapsed, 4),
+        "n_windows": run.analysis.n_windows,
+        "n_packets": get_scenario(scenario).n_packets,
+        "max_drift_source_fanout": round(run.phases.max_drift("source_fanout"), 4),
+        "engine_stats": dict(run.engine_stats),
+    }
+    _RESULTS[f"{scenario}/{backend}"] = row
+    benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
+
+
+def test_bench_scenarios_artifact():
+    """Write the scenario benchmark artifact (runs after the timed cases)."""
+    if not _RESULTS:
+        pytest.skip("no scenario timings collected in this run")
+    report = {
+        "benchmark": "scenario_subsystem",
+        "n_valid": N_VALID,
+        "chunk_packets": CHUNK_PACKETS,
+        "seed": SEED,
+        "cases": _RESULTS,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    assert ARTIFACT_PATH.is_file()

@@ -1,6 +1,6 @@
 """repro — reproduction of "Hybrid Power-Law Models of Network Traffic".
 
-The package is organised into four subpackages:
+The package is organised into five subpackages:
 
 * :mod:`repro.core` — the paper's contribution: the modified Zipf–Mandelbrot
   model and its fit, the PALU generative model, its closed-form observed-
@@ -13,7 +13,11 @@ The package is organised into four subpackages:
   traces, fixed-valid-packet windowing, the sparse traffic image ``A_t``,
   the Table-I aggregates, and the end-to-end analysis pipeline.
 * :mod:`repro.analysis` — degree histograms, binary-log pooling, topology
-  decomposition, residual moments, and goodness-of-fit comparison.
+  decomposition, residual moments, phase-segmented drift analysis, and
+  goodness-of-fit comparison.
+* :mod:`repro.scenarios` — time-varying workloads: declarative multi-phase
+  scenarios (drifting exponents, flash crowds, changing graph families)
+  emitted as lazy chunk streams through the single-pass engine.
 
 Quickstart::
 
@@ -27,8 +31,9 @@ Quickstart::
     print(fit.as_row())
 """
 
-from repro import analysis, core, generators, streaming
+from repro import analysis, core, generators, scenarios, streaming
 from repro.analysis import (
+    PhaseSegmentedAnalysis,
     DegreeHistogram,
     PooledDistribution,
     aggregate_pooled,
@@ -69,6 +74,15 @@ from repro.generators import (
     sample_edges,
     webcrawl_sample,
 )
+from repro.scenarios import (
+    Phase,
+    Scenario,
+    ScenarioTraceSource,
+    analyze_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.streaming import (
     PacketTrace,
     StreamAnalyzer,
@@ -90,8 +104,10 @@ __all__ = [
     "analysis",
     "core",
     "generators",
+    "scenarios",
     "streaming",
     # analysis
+    "PhaseSegmentedAnalysis",
     "DegreeHistogram",
     "PooledDistribution",
     "aggregate_pooled",
@@ -129,6 +145,14 @@ __all__ = [
     "generate_preferential_attachment",
     "sample_edges",
     "webcrawl_sample",
+    # scenarios
+    "Phase",
+    "Scenario",
+    "ScenarioTraceSource",
+    "analyze_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
     # streaming
     "PacketTrace",
     "StreamAnalyzer",

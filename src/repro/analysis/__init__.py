@@ -30,6 +30,7 @@ from repro.analysis.histogram import (
     probability_from_counts,
 )
 from repro.analysis.moments import StreamingMoments, residual_moment_ratio, residual_moment_sums
+from repro.analysis.phases import PhaseDrift, PhaseSegmentedAnalysis, PhaseSegmentedAnalyzer
 from repro.analysis.pooling import (
     PooledDistribution,
     aggregate_pooled,
@@ -64,6 +65,9 @@ __all__ = [
     "StreamingMoments",
     "residual_moment_ratio",
     "residual_moment_sums",
+    "PhaseDrift",
+    "PhaseSegmentedAnalysis",
+    "PhaseSegmentedAnalyzer",
     "PooledDistribution",
     "aggregate_pooled",
     "log2_bin_edges",

@@ -11,7 +11,10 @@ Exposes the main workflows as subcommands of ``python -m repro`` (or the
 * ``fit``      — fit the ZM, PALU, and power-law models to the degree data of
   one quantity of a trace and print the comparison,
 * ``experiments`` — run the table/figure reproduction drivers and print their
-  rows (what EXPERIMENTS.md is built from).
+  rows (what EXPERIMENTS.md is built from),
+* ``scenarios`` — list the registered time-varying workload scenarios, or
+  run one through the streaming engine and print the per-phase pooled
+  distributions and the adjacent-phase drift statistic.
 
 Every subcommand is a thin wrapper over the public API so that anything the
 CLI does can be scripted directly in Python.
@@ -110,6 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for the fig3 window map (default: 4, "
                           "ignored by the streaming backend)")
     exp.set_defaults(func=_cmd_experiments)
+
+    scen = subparsers.add_parser("scenarios", help="time-varying traffic workload scenarios")
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="list the registered scenarios")
+    scen_list.set_defaults(func=_cmd_scenarios_list)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="generate and analyse one scenario in a single bounded-memory pass"
+    )
+    scen_run.add_argument("name", help="a registered scenario name (see 'scenarios list')")
+    scen_run.add_argument("--nv", type=int, default=5_000, help="window size N_V in valid packets")
+    scen_run.add_argument("--seed", type=int, default=0, help="scenario seed")
+    scen_run.add_argument("--quantities", nargs="+", default=list(QUANTITY_NAMES),
+                          choices=list(QUANTITY_NAMES), help="which Figure-1 quantities to analyse")
+    scen_run.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                          help="execution backend (default: serial); 'streaming' keeps peak "
+                               "buffering bounded by --chunk-packets")
+    scen_run.add_argument("--workers", type=int, default=None,
+                          help="worker processes for the window map (process backend)")
+    scen_run.add_argument("--chunk-packets", type=int, default=None,
+                          help="emit the scenario trace in chunks of this many packets "
+                               "(bounds memory under --backend streaming)")
+    scen_run.set_defaults(func=_cmd_scenarios_run)
 
     return parser
 
@@ -260,6 +287,59 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         if isinstance(rows, dict):
             rows = [rows]
         print(format_table(rows))
+    return 0
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import iter_scenarios
+
+    rows = [
+        {
+            "name": scenario.name,
+            "phases": scenario.n_phases,
+            "packets": scenario.n_packets,
+            "crossfade": scenario.crossfade_packets,
+            "description": scenario.description,
+        }
+        for scenario in iter_scenarios()
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import analyze_scenario, get_scenario
+
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    print(f"scenario {scenario.name!r}: {scenario.n_phases} phases, "
+          f"{scenario.n_packets} packets, crossfade {scenario.crossfade_packets}")
+    run = analyze_scenario(
+        scenario,
+        args.nv,
+        seed=args.seed,
+        quantities=tuple(args.quantities),
+        backend=args.backend,
+        n_workers=args.workers,
+        chunk_packets=args.chunk_packets,
+    )
+    stats = run.engine_stats
+    print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
+          f"peak buffered packets={stats.get('max_buffered_packets')}")
+    print(f"{run.analysis.n_windows} windows of N_V = {args.nv} valid packets")
+    for quantity in args.quantities:
+        print(f"\nphase summary — {quantity}:")
+        print(format_table(run.phases.as_rows(quantity)))
+        drifts = run.phases.drift(quantity)
+        if drifts:
+            worst = max(drifts, key=lambda d: d.score)
+            print(f"max adjacent-phase drift: {worst.score:.4f} "
+                  f"(phase {worst.phase_a} → {worst.phase_b})")
+        else:
+            print("single occupied phase; no adjacent-phase drift")
     return 0
 
 

@@ -1,0 +1,126 @@
+"""Built-in scenarios: the workload regimes the ROADMAP's scenario axis opens.
+
+Each factory below registers one named scenario.  They are deliberately
+laptop-sized (tens of thousands of packets, thousand-node graphs) so the
+whole catalogue can be analysed in seconds — scale the budgets up by
+constructing variants with :class:`~repro.scenarios.Scenario` directly.
+
+The catalogue spans the ways a real observatory stream violates the paper's
+one-stationary-graph assumption:
+
+* ``stationary``       — the paper's regime, as the control.
+* ``alpha-drift``      — the core's power-law exponent drifts across phases
+  (slow topology evolution, the hivclustering-style regime).
+* ``flash-crowd``      — a sudden star-burst (flash crowd / DDoS-shaped
+  concentration) interrupts a stationary baseline, then recedes.
+* ``generator-mix``    — the graph *family* itself changes phase to phase.
+* ``heavy-tail-burst`` — topology fixed, but the per-link rate law's tail
+  thickens sharply mid-stream.
+* ``invalid-storm``    — a burst of invalid packets stresses the
+  fixed-``N_V`` windowing (windows stretch over more raw packets).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.scenario import Phase, Scenario, register_scenario
+
+__all__ = ["BUILTIN_SCENARIO_NAMES"]
+
+_PALU = {"n_nodes": 3_000, "core": 0.55, "leaves": 0.25, "unattached": 0.20, "lam": 2.0}
+
+
+@register_scenario
+def stationary() -> Scenario:
+    """Single-phase control: one graph, one rate law, start to finish."""
+    return Scenario(
+        name="stationary",
+        description="one PALU graph and one zipf rate law for the whole trace (the paper's regime)",
+        phases=(Phase("palu", 60_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.2),),
+    )
+
+
+@register_scenario
+def alpha_drift() -> Scenario:
+    """The core exponent drifts 1.7 → 2.0 → 2.6 with smooth cross-fades."""
+    return Scenario(
+        name="alpha-drift",
+        description="PALU core power-law exponent drifts across three cross-faded phases",
+        phases=(
+            Phase("palu", 30_000, {**_PALU, "alpha": 1.7}, rate_exponent=1.2),
+            Phase("palu", 30_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.2),
+            Phase("palu", 30_000, {**_PALU, "alpha": 2.6}, rate_exponent=1.2),
+        ),
+        crossfade_packets=4_000,
+    )
+
+
+@register_scenario
+def flash_crowd() -> Scenario:
+    """A star-burst phase with sharply concentrated rates interrupts a baseline."""
+    baseline = Phase("palu", 30_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.1)
+    return Scenario(
+        name="flash-crowd",
+        description="stationary baseline, then a poisson-star flash crowd with concentrated rates, then recovery",
+        phases=(
+            baseline,
+            Phase("poisson-stars", 20_000, {"n_stars": 400, "lam": 6.0}, rate_exponent=2.0),
+            baseline,
+        ),
+        crossfade_packets=3_000,
+    )
+
+
+@register_scenario
+def generator_mix() -> Scenario:
+    """The graph family itself changes every phase."""
+    return Scenario(
+        name="generator-mix",
+        description="ER → configuration-model → preferential-attachment → poisson-stars, one family per phase",
+        phases=(
+            Phase("erdos-renyi", 20_000, {"n_nodes": 2_000, "p": 0.003}),
+            Phase("configuration", 20_000, {"n_nodes": 2_000, "alpha": 2.2}),
+            Phase("preferential-attachment", 20_000, {"n_nodes": 2_000, "alpha": 2.5}),
+            Phase("poisson-stars", 20_000, {"n_stars": 1_200, "lam": 2.5}),
+        ),
+    )
+
+
+@register_scenario
+def heavy_tail_burst() -> Scenario:
+    """Fixed topology; the rate law's tail thickens sharply mid-stream."""
+    graph = {"n_nodes": 2_500, "alpha": 2.1}
+    return Scenario(
+        name="heavy-tail-burst",
+        description="configuration-model topology with a lognormal rate tail that bursts from σ=0.8 to σ=2.5",
+        phases=(
+            Phase("configuration", 25_000, graph, rate_model="lognormal", lognormal_sigma=0.8),
+            Phase("configuration", 25_000, graph, rate_model="lognormal", lognormal_sigma=2.5),
+            Phase("configuration", 25_000, graph, rate_model="lognormal", lognormal_sigma=0.8),
+        ),
+        crossfade_packets=2_000,
+    )
+
+
+@register_scenario
+def invalid_storm() -> Scenario:
+    """A burst of invalid packets stretches the fixed-N_V windows."""
+    return Scenario(
+        name="invalid-storm",
+        description="clean baseline, a 30% invalid-packet storm, then a light residue — stresses N_V windowing",
+        phases=(
+            Phase("palu", 25_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.2),
+            Phase("palu", 25_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.2, invalid_fraction=0.30),
+            Phase("palu", 25_000, {**_PALU, "alpha": 2.0}, rate_exponent=1.2, invalid_fraction=0.05),
+        ),
+    )
+
+
+#: Names of the scenarios registered by this module, in registration order.
+BUILTIN_SCENARIO_NAMES = (
+    "stationary",
+    "alpha-drift",
+    "flash-crowd",
+    "generator-mix",
+    "heavy-tail-burst",
+    "invalid-storm",
+)

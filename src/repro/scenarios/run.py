@@ -1,0 +1,135 @@
+"""Run a scenario through the single-pass streaming engine.
+
+:func:`analyze_scenario` is the scenario counterpart of
+:func:`repro.streaming.pipeline.analyze_trace`: the scenario's chunk stream
+(:class:`~repro.scenarios.source.ScenarioTraceSource`) is windowed by the
+same :class:`~repro.streaming.window.ChunkedWindower`, mapped through the
+same pluggable :class:`~repro.streaming.parallel.ExecutionBackend`, and
+folded by the same :class:`~repro.streaming.pipeline.StreamAnalyzer` — with
+a :class:`~repro.analysis.phases.PhaseSegmentedAnalyzer` riding the same
+in-order result stream to attribute windows to phases.  Because both folds
+consume the identical ordered stream, scenario analyses keep the engine's
+guarantee: every backend produces bit-identical pooled output, globally and
+per phase, and peak buffering stays bounded by the chunk size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro._util.logging import get_logger
+from repro._util.validation import check_positive_int
+from repro.analysis.phases import PhaseSegmentedAnalysis, PhaseSegmentedAnalyzer
+from repro.analysis.pooling import pool_differential_cumulative
+from repro.scenarios.scenario import Scenario, get_scenario
+from repro.scenarios.source import DEFAULT_BLOCK_PACKETS, ScenarioTraceSource, SeedLike
+from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.parallel import ExecutionBackend, get_backend
+from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, analyze_window
+from repro.streaming.window import ChunkedWindower
+
+__all__ = ["ScenarioRun", "analyze_scenario"]
+
+_logger = get_logger("scenarios.run")
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Everything one scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The scenario that was run.
+    analysis:
+        The engine's :class:`WindowedAnalysis` over the whole stream
+        (``engine_stats`` carries the buffering high-water mark).
+    phases:
+        The :class:`PhaseSegmentedAnalysis`: per-phase pooled distributions
+        and the adjacent-phase drift statistic.
+    """
+
+    scenario: Scenario
+    analysis: WindowedAnalysis
+    phases: PhaseSegmentedAnalysis
+
+    @property
+    def engine_stats(self):
+        return self.analysis.engine_stats
+
+
+def analyze_scenario(
+    scenario: Union[str, Scenario],
+    n_valid: int,
+    *,
+    seed: SeedLike = 0,
+    quantities: Sequence[str] = QUANTITY_NAMES,
+    backend: Union[str, ExecutionBackend, None] = None,
+    n_workers: int | None = None,
+    chunk_packets: int | None = None,
+    block_packets: int = DEFAULT_BLOCK_PACKETS,
+    keep_windows: bool | None = None,
+) -> ScenarioRun:
+    """Generate and analyse a scenario in one bounded-memory pass.
+
+    Parameters
+    ----------
+    scenario:
+        A registered scenario name or a :class:`Scenario` instance.
+    n_valid:
+        Window size ``N_V`` in valid packets.
+    seed:
+        Scenario seed; the same seed reproduces the identical trace (and
+        therefore identical analysis) on every backend and chunking.
+    quantities, backend, n_workers, chunk_packets, keep_windows:
+        As in :func:`repro.streaming.pipeline.analyze_trace`.  Under
+        ``backend="streaming"`` the default ``chunk_packets`` falls back to
+        ``block_packets`` so buffering is always bounded.
+    block_packets:
+        Internal generation block size (part of the trace's identity: the
+        same scenario and seed with a different block size is a different —
+        equally valid — trace realisation).
+
+    Returns
+    -------
+    ScenarioRun
+    """
+    scenario = get_scenario(scenario)
+    n_valid = check_positive_int(n_valid, "n_valid")
+    backend_impl = get_backend(backend, n_workers=n_workers)
+    if keep_windows is None:
+        keep_windows = backend_impl.name != "streaming"
+    if chunk_packets is None and backend_impl.name == "streaming":
+        chunk_packets = block_packets
+
+    source = ScenarioTraceSource(
+        scenario, seed=seed, chunk_packets=chunk_packets, block_packets=block_packets
+    )
+    windower = ChunkedWindower(iter(source), n_valid)
+    _logger.debug(
+        "running scenario %r (%d phases, %d packets) via %s backend",
+        scenario.name, scenario.n_phases, scenario.n_packets, backend_impl.name,
+    )
+    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    # the source is always ahead of the windows cut from it, so its running
+    # per-phase valid tally is complete for every index the attributor sees
+    segmenter = PhaseSegmentedAnalyzer(
+        n_valid, scenario.n_phases, source.phase_of_valid_index, quantities
+    )
+    for result in backend_impl.map(analyze_window, windower):
+        # pool each window once and hand the vectors to both folds
+        pooled = {
+            q: pool_differential_cumulative(result.histograms[q]) for q in analyzer.quantities
+        }
+        analyzer.update(result, pooled=pooled)
+        segmenter.update(result, pooled=pooled)
+    stats = {
+        "backend": backend_impl.name,
+        "scenario": scenario.name,
+        "n_phases": scenario.n_phases,
+        "max_buffered_packets": windower.max_buffered_packets,
+        "n_chunks": windower.n_chunks,
+    }
+    analysis = analyzer.result(stats=stats)
+    return ScenarioRun(scenario=scenario, analysis=analysis, phases=segmenter.result())

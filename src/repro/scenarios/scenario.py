@@ -1,0 +1,215 @@
+"""Declarative scenarios: phases, the :class:`Scenario` dataclass, the registry.
+
+A *scenario* is a sequence of :class:`Phase`\\ s, each naming a graph family
+(:mod:`repro.scenarios.families`), a packet budget, and a traffic-rate model.
+Together they describe a non-stationary workload: the underlying network
+and/or the per-link rate law changes as the stream progresses, with an
+optional smooth cross-fade between consecutive phases.  The paper's pooled
+windowed statistics assume a *stationary* traffic graph; scenarios are the
+controlled way to break that assumption and measure what happens
+(:class:`repro.analysis.phases.PhaseSegmentedAnalysis`).
+
+Every phase's :class:`~repro.streaming.trace_generator.TraceConfig` is built
+— and therefore validated — **once, at scenario construction time**, with
+the phase index woven into any error.  A malformed phase fails when the
+scenario is registered, not mid-stream after minutes of generation, and the
+per-phase configs are reused verbatim by every
+:class:`~repro.scenarios.source.ScenarioTraceSource` instead of being
+re-validated per phase or per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.scenarios.families import validate_family
+from repro.streaming.trace_generator import TraceConfig
+
+__all__ = [
+    "Phase",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stationary regime of a scenario.
+
+    Attributes
+    ----------
+    graph:
+        Graph-family name (one of
+        :data:`repro.scenarios.families.GRAPH_FAMILY_NAMES`).
+    n_packets:
+        Packet budget of the phase (valid + invalid); phase budgets sum to
+        the scenario's total trace length.
+    graph_params:
+        Family parameter overrides (validated by name at scenario
+        construction).
+    rate_model / rate_exponent / lognormal_sigma / invalid_fraction:
+        Traffic knobs, with the :class:`TraceConfig` semantics.
+    """
+
+    graph: str
+    n_packets: int
+    graph_params: Mapping[str, float] = field(default_factory=dict)
+    rate_model: str = "zipf"
+    rate_exponent: float = 1.2
+    lognormal_sigma: float = 1.5
+    invalid_fraction: float = 0.0
+    mean_interarrival: float = 1e-4
+
+    def trace_config(self) -> TraceConfig:
+        """The (validated) generator configuration of this phase."""
+        return TraceConfig(
+            n_packets=self.n_packets,
+            rate_model=self.rate_model,
+            rate_exponent=self.rate_exponent,
+            lognormal_sigma=self.lognormal_sigma,
+            invalid_fraction=self.invalid_fraction,
+            mean_interarrival=self.mean_interarrival,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named sequence of phases with an optional inter-phase cross-fade.
+
+    ``crossfade_packets`` smooths each phase boundary: during the first
+    ``crossfade_packets`` packets of phase ``k+1``, each packet is drawn from
+    phase ``k``'s (graph, rates) with a probability that ramps linearly down
+    to zero, so the old regime bleeds into the new one instead of switching
+    on a packet edge.  The fade happens *inside* the next phase's budget, so
+    phase budgets always sum exactly to the scenario's total packet count.
+
+    Construction validates everything a run would need: phase structure,
+    graph families and their parameter names, and every phase's
+    :class:`TraceConfig` — errors carry the offending phase index.
+    """
+
+    name: str
+    phases: tuple[Phase, ...]
+    crossfade_packets: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("scenario name must be a non-empty string")
+        phases = tuple(self.phases)
+        object.__setattr__(self, "phases", phases)
+        if not phases:
+            raise ValueError(f"scenario {self.name!r} must have at least one phase")
+        configs = []
+        for index, phase in enumerate(phases):
+            if not isinstance(phase, Phase):
+                raise TypeError(
+                    f"scenario {self.name!r} phase {index}: expected a Phase, "
+                    f"got {type(phase).__name__}"
+                )
+            try:
+                validate_family(phase.graph, phase.graph_params)
+                configs.append(phase.trace_config())
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"scenario {self.name!r} phase {index}: {error}") from error
+        if self.crossfade_packets < 0:
+            raise ValueError(f"scenario {self.name!r}: crossfade_packets must be >= 0")
+        if self.crossfade_packets:
+            shortest = min(phase.n_packets for phase in phases)
+            if self.crossfade_packets > shortest:
+                raise ValueError(
+                    f"scenario {self.name!r}: crossfade_packets={self.crossfade_packets} exceeds "
+                    f"the shortest phase budget ({shortest}); the fade must fit inside a phase"
+                )
+        # validated configs, built once — the source reuses these verbatim
+        object.__setattr__(self, "_phase_configs", tuple(configs))
+
+    @property
+    def phase_configs(self) -> tuple[TraceConfig, ...]:
+        """Per-phase trace configurations (validated at construction)."""
+        return self._phase_configs  # type: ignore[attr-defined]
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def n_packets(self) -> int:
+        """Total packet budget across all phases."""
+        return sum(phase.n_packets for phase in self.phases)
+
+    def phase_packet_boundaries(self) -> np.ndarray:
+        """Packet-index boundaries: phase ``k`` spans ``[b[k], b[k+1])``."""
+        budgets = np.array([phase.n_packets for phase in self.phases], dtype=np.int64)
+        return np.concatenate([[0], np.cumsum(budgets)])
+
+    def generate(self, *, seed=None, block_packets: int | None = None):
+        """Materialize the whole scenario trace eagerly (tests / small runs).
+
+        Identical, packet for packet, to concatenating the chunks of a
+        :class:`~repro.scenarios.source.ScenarioTraceSource` built with the
+        same seed — chunked emission is a pure re-cut of the generation.
+        """
+        from repro.scenarios.source import ScenarioTraceSource
+        from repro.streaming.packet import concatenate_traces
+
+        kwargs = {} if block_packets is None else {"block_packets": block_packets}
+        return concatenate_traces(list(ScenarioTraceSource(self, seed=seed, **kwargs)))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario, *, replace: bool = False) -> Scenario:
+    """Register a scenario under its name and return it.
+
+    Usable directly (``register_scenario(Scenario(...))``) or as a decorator
+    on a zero-argument factory::
+
+        @register_scenario
+        def alpha_drift() -> Scenario:
+            return Scenario("alpha-drift", phases=(...))
+
+    The factory runs immediately (so its scenario is validated at import
+    time) and the *scenario* is what ends up bound to the decorated name.
+    """
+    built = scenario() if callable(scenario) else scenario
+    if not isinstance(built, Scenario):
+        raise TypeError(f"expected a Scenario (or a factory returning one), got {type(built).__name__}")
+    if built.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {built.name!r} is already registered (pass replace=True to override)")
+    _REGISTRY[built.name] = built
+    return built
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    if isinstance(name, Scenario):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of all registered scenarios, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_scenarios() -> Iterator[Scenario]:
+    """Iterate over registered scenarios in name order."""
+    for name in scenario_names():
+        yield _REGISTRY[name]

@@ -288,16 +288,31 @@ class StreamAnalyzer:
         """Number of window results folded in so far."""
         return self._n_windows
 
-    def update(self, result: WindowResult) -> None:
-        """Fold one window result into the running aggregates."""
+    def update(
+        self,
+        result: WindowResult,
+        *,
+        pooled: Mapping[str, PooledDistribution] | None = None,
+    ) -> None:
+        """Fold one window result into the running aggregates.
+
+        *pooled* optionally supplies this window's already-pooled
+        distributions (keyed by quantity) so a second consumer of the same
+        result stream — e.g. the scenario runner's phase segmenter — shares
+        the pooling work instead of repeating it; entries must equal
+        ``pool_differential_cumulative(result.histograms[q])``.
+        """
         self._n_windows += 1
         if self._aggregates is not None:
             self._aggregates.append(result.aggregates)
         for quantity in self.quantities:
             histogram = result.histograms[quantity]
-            pooled = pool_differential_cumulative(histogram)
-            self._moments[quantity].update(pooled.values)
-            self._totals[quantity] += pooled.total
+            window_pooled = (
+                pooled[quantity] if pooled is not None and quantity in pooled
+                else pool_differential_cumulative(histogram)
+            )
+            self._moments[quantity].update(window_pooled.values)
+            self._totals[quantity] += window_pooled.total
             merged = self._merged[quantity]
             self._merged[quantity] = histogram if merged is None else merged.merge(histogram)
         if self._windows is not None:

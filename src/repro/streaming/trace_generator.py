@@ -32,7 +32,13 @@ from repro._util.validation import check_fraction, check_positive, check_positiv
 from repro.generators.palu_graph import PALUGraph
 from repro.streaming.packet import PacketTrace
 
-__all__ = ["TraceConfig", "generate_trace", "generate_trace_from_graph", "effective_window_p"]
+__all__ = [
+    "TraceConfig",
+    "generate_trace",
+    "generate_trace_from_graph",
+    "edge_rate_weights",
+    "effective_window_p",
+]
 
 GraphLike = Union[nx.Graph, PALUGraph, np.ndarray]
 
@@ -97,7 +103,14 @@ def _edges_of(graph: GraphLike) -> np.ndarray:
     return edges
 
 
-def _edge_weights(n_edges: int, config: TraceConfig, gen: np.random.Generator) -> np.ndarray:
+def edge_rate_weights(n_edges: int, config: TraceConfig, gen: np.random.Generator) -> np.ndarray:
+    """Normalised per-edge rate weights under *config*'s rate model.
+
+    One draw per (graph, config) pair — the paper's stationarity assumption
+    in miniature: packets are i.i.d. given these weights.  The scenario
+    subsystem (:mod:`repro.scenarios`) re-draws them per *phase*, which is
+    exactly how it breaks stationarity while reusing this generator.
+    """
     if config.rate_model == "uniform":
         return np.full(n_edges, 1.0 / n_edges)
     if config.rate_model == "zipf":
@@ -128,7 +141,7 @@ def generate_trace_from_graph(
     gen = as_generator(rng)
     n = config.n_packets
 
-    weights = _edge_weights(edges.shape[0], config, gen)
+    weights = edge_rate_weights(edges.shape[0], config, gen)
     chosen = gen.choice(edges.shape[0], size=n, replace=True, p=weights)
     src = edges[chosen, 0].copy()
     dst = edges[chosen, 1].copy()

@@ -2,8 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: "dev" keeps local runs fast; "ci" (selected in
+# .github/workflows/ci.yml via --hypothesis-profile=ci) runs more examples
+# with a derandomized, reproducible search so CI failures replay locally.
+settings.register_profile(
+    "dev",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=75,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.analysis.histogram import DegreeHistogram, degree_histogram
 from repro.core.distributions import PALUDegreeDistribution, ZipfMandelbrotDistribution

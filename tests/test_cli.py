@@ -159,3 +159,43 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "fig4" in out
         assert "log_mse_vs_ZM" in out
+
+
+class TestScenarios:
+    def test_list_prints_catalogue(self, capsys):
+        code = main(["scenarios", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("stationary", "alpha-drift", "flash-crowd", "generator-mix"):
+            assert name in out
+
+    def test_run_streaming_prints_phases_and_drift(self, capsys):
+        code = main(
+            [
+                "scenarios", "run", "alpha-drift",
+                "--nv", "5000",
+                "--backend", "streaming",
+                "--chunk-packets", "9000",
+                "--quantities", "source_fanout",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=streaming" in out
+        assert "phase summary — source_fanout" in out
+        assert "max adjacent-phase drift" in out
+
+    def test_run_single_phase_reports_no_drift(self, capsys):
+        code = main(["scenarios", "run", "stationary", "--nv", "10000",
+                     "--quantities", "source_fanout"])
+        assert code == 0
+        assert "single occupied phase" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["scenarios", "run", "does-not-exist"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])

@@ -30,8 +30,10 @@ from repro.core.zipf_mandelbrot import zm_probability
 from repro.streaming.packet import PacketTrace
 from repro.streaming.window import iter_windows
 
-# keep hypothesis fast and deterministic enough for CI-style runs
-_SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+# example counts come from the dev/ci profiles in conftest.py (selected via
+# --hypothesis-profile); pinning max_examples here would override the CI
+# profile and silently shrink its search
+_SETTINGS = settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
 degree_lists = st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=300)
 alphas = st.floats(min_value=1.2, max_value=3.5, allow_nan=False)
