@@ -19,16 +19,21 @@ Run with ``python examples/botnet_scenario.py``.
 
 from __future__ import annotations
 
+
 import repro
 from repro.analysis.summary import format_table
 from repro.analysis.topology import decompose_topology
 from repro.core.palu_zm_connection import delta_from_model
 from repro.generators.sampling import sample_edges, webcrawl_sample
 
+# Examples honour REPRO_EXAMPLE_SCALE in (0, 1] so the docs smoke test
+# (tests/test_examples.py) can execute them at tiny sizes.
+from repro._util.examples import scaled  # noqa: E402
+
 
 def observe(name: str, params: repro.PALUParameters, *, p: float, seed: int) -> dict:
     """Build one world, observe it both ways, and summarise."""
-    palu = repro.generate_palu_graph(params, n_nodes=40_000, rng=seed)
+    palu = repro.generate_palu_graph(params, n_nodes=scaled(40_000, 3_000), rng=seed)
     trunk = sample_edges(palu.graph, p, rng=seed + 1)
     crawl = webcrawl_sample(palu.graph, n_seeds=3)
 

@@ -29,6 +29,13 @@ from repro.experiments import (
 )
 
 
+# Examples honour REPRO_EXAMPLE_SCALE in (0, 1] so the docs smoke test
+# (tests/test_examples.py) can execute them at tiny sizes.
+from repro._util.examples import example_scale  # noqa: E402
+
+SCALE = example_scale()
+
+
 def section(title: str) -> None:
     print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")
 
@@ -40,8 +47,9 @@ def main() -> None:
         help="run a reduced sweep (fewer Figure-3 panels, smaller samples)",
     )
     args = parser.parse_args()
-    fig3_limit = 3 if args.quick else None
-    n_samples = 300_000 if args.quick else 1_000_000
+    quick = args.quick or SCALE < 1
+    fig3_limit = (1 if SCALE < 1 else 3) if quick else None
+    n_samples = max(50_000, int((300_000 if quick else 1_000_000) * SCALE))
 
     section("Table I — aggregate network properties (matrix vs summation notation)")
     print(format_table(run_table1()))

@@ -17,10 +17,15 @@ Run with ``python examples/palu_parameter_recovery.py``.
 
 from __future__ import annotations
 
+
 import repro
 from repro.analysis.summary import format_table
 from repro.core.palu_model import degree_distribution
 from repro.experiments import run_window_invariance_ablation
+
+# Examples honour REPRO_EXAMPLE_SCALE in (0, 1] so the docs smoke test
+# (tests/test_examples.py) can execute them at tiny sizes.
+from repro._util.examples import scaled  # noqa: E402
 
 
 def main() -> None:
@@ -30,7 +35,7 @@ def main() -> None:
     # --- direct demonstration at one window -------------------------------
     p = 0.6
     dist = degree_distribution(params, p, dmax=30_000, form="poisson")
-    hist = repro.degree_histogram(dist.sample(1_000_000, rng=21))
+    hist = repro.degree_histogram(dist.sample(scaled(1_000_000, 60_000), rng=21))
     fit = repro.fit_palu(hist)
     print(f"\nreduced fit at p={p}:", fit.as_row())
     recovered = fit.to_underlying(p)
@@ -42,7 +47,7 @@ def main() -> None:
     rows = run_window_invariance_ablation(
         parameters=params,
         p_values=(0.2, 0.4, 0.6, 0.8),
-        n_samples=800_000,
+        n_samples=scaled(800_000, 60_000),
         dmax=30_000,
         rng=22,
     )
@@ -53,7 +58,8 @@ def main() -> None:
 
     print("\nΛ estimator comparison (moment-ratio vs point-wise, 20 repeats):")
     summary = run_lambda_estimator_ablation(
-        parameters=params, p=0.5, n_samples=300_000, n_repeats=20, dmax=20_000, rng=23
+        parameters=params, p=0.5, n_samples=scaled(300_000, 40_000),
+        n_repeats=scaled(20, 4), dmax=20_000, rng=23
     )
     print(format_table([summary]))
 

@@ -15,11 +15,16 @@ Run with ``python examples/quickstart.py``.
 
 from __future__ import annotations
 
+
 import repro
 from repro.analysis.comparison import compare_models
 from repro.analysis.pooling import pool_differential_cumulative
 from repro.analysis.summary import format_table
 from repro.core.distributions import DiscretePowerLaw
+
+# Examples honour REPRO_EXAMPLE_SCALE in (0, 1] so the docs smoke test
+# (tests/test_examples.py) can execute them at tiny sizes.
+from repro._util.examples import scaled  # noqa: E402
 
 
 def main() -> None:
@@ -30,7 +35,7 @@ def main() -> None:
     print("normalisation constraint C + L + U(1 + λ - e^-λ) =", round(params.constraint_value(), 6))
 
     # 2. the underlying network (~50k nodes)
-    palu = repro.generate_palu_graph(params, n_nodes=50_000, seed=1)
+    palu = repro.generate_palu_graph(params, n_nodes=scaled(50_000, 2_000), seed=1)
     print(f"\nunderlying network: {palu.n_nodes} nodes, {palu.n_edges} edges")
     print("class counts:", palu.class_counts())
 

@@ -33,14 +33,18 @@ from repro.analysis.summary import format_table
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.trace_generator import TraceConfig, generate_trace_from_graph
 
+# Examples honour REPRO_EXAMPLE_SCALE in (0, 1] so the docs smoke test
+# (tests/test_examples.py) can execute them at tiny sizes.
+from repro._util.examples import scaled  # noqa: E402
+
 
 def main() -> None:
     params = repro.PALUParameters.from_weights(0.5, 0.25, 0.25, lam=1.5, alpha=2.0)
-    palu = repro.generate_palu_graph(params, n_nodes=40_000, seed=11)
+    palu = repro.generate_palu_graph(params, n_nodes=scaled(40_000, 2_000), seed=11)
     print(f"underlying network: {palu.n_nodes} nodes, {palu.n_edges} edges")
 
     config = TraceConfig(
-        n_packets=600_000,
+        n_packets=scaled(600_000, 30_000),
         rate_model="zipf",
         rate_exponent=1.25,
         invalid_fraction=0.02,
@@ -49,7 +53,7 @@ def main() -> None:
     print(f"trace: {trace.n_packets} packets ({trace.n_valid} valid), "
           f"duration {trace.duration:.2f}s")
 
-    n_valid = 100_000
+    n_valid = scaled(100_000, 5_000)
     analysis = repro.analyze_trace(trace, n_valid, backend="process", n_workers=4)
     print(f"\nanalysed {analysis.n_windows} windows of N_V = {n_valid} valid packets "
           f"on the {analysis.engine_stats['backend']} backend")
@@ -92,9 +96,10 @@ def main() -> None:
     # out-of-core rerun: shard the trace to disk and stream it back through
     # the bounded-memory backend — only one chunk is ever resident
     with tempfile.TemporaryDirectory() as tmp:
-        sharded = repro.save_trace_sharded(trace, Path(tmp) / "trace-v2", shard_packets=50_000)
+        shard_packets = scaled(50_000, 5_000)
+        sharded = repro.save_trace_sharded(trace, Path(tmp) / "trace-v2", shard_packets=shard_packets)
         streamed = repro.analyze_trace(
-            sharded, n_valid, backend="streaming", chunk_packets=50_000
+            sharded, n_valid, backend="streaming", chunk_packets=shard_packets
         )
         stats = streamed.engine_stats
         print(f"\nout-of-core rerun: {stats['n_chunks']} chunks, "

@@ -1,10 +1,36 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e . --no-use-pep517`` works on minimal offline environments
-that lack the ``wheel`` package required by PEP 660 editable installs.
+The package version has a single source of truth — ``__version__`` in
+``src/repro/__init__.py`` (what ``repro --version`` prints and what the
+docs footer shows) — read here textually so building a wheel never needs
+the package's runtime dependencies importable.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Extract ``__version__`` from the package without importing it."""
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(encoding="utf-8"), re.MULTILINE)
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Hybrid Power-Law Models of Network Traffic' "
+        "grown into a streaming traffic-analysis system"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -18,6 +18,10 @@ The package is organised into five subpackages:
 * :mod:`repro.scenarios` — time-varying workloads: declarative multi-phase
   scenarios (drifting exponents, flash crowds, changing graph families)
   emitted as lazy chunk streams through the single-pass engine.
+* :mod:`repro.campaigns` — sweep orchestration: parameter grids over
+  scenarios × seeds × backends, expanded into content-hashed run specs,
+  executed through the engine's backend pool, and persisted in an on-disk
+  result store so finished cells are never recomputed.
 
 Quickstart::
 
@@ -25,13 +29,21 @@ Quickstart::
 
     params = repro.PALUParameters.from_weights(0.5, 0.2, 0.3, lam=2.0, alpha=2.0)
     graph = repro.generate_palu_graph(params, n_nodes=20_000, seed=7)
-    observed = repro.sample_edges(graph, p=0.4, seed=8)
+    observed = repro.sample_edges(graph.graph, p=0.4, seed=8)
     hist = repro.degree_histogram([d for _, d in observed.degree() if d > 0])
     fit = repro.fit_zipf_mandelbrot_histogram(hist)
     print(fit.as_row())
 """
 
-from repro import analysis, core, generators, scenarios, streaming
+from repro import analysis, campaigns, core, generators, scenarios, streaming
+from repro.campaigns import (
+    Campaign,
+    CampaignReport,
+    CampaignRun,
+    ResultStore,
+    RunSpec,
+    run_campaign,
+)
 from repro.analysis import (
     PhaseSegmentedAnalysis,
     DegreeHistogram,
@@ -102,10 +114,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "campaigns",
     "core",
     "generators",
     "scenarios",
     "streaming",
+    # campaigns
+    "Campaign",
+    "CampaignReport",
+    "CampaignRun",
+    "ResultStore",
+    "RunSpec",
+    "run_campaign",
     # analysis
     "PhaseSegmentedAnalysis",
     "DegreeHistogram",

@@ -1,0 +1,24 @@
+"""The ``REPRO_EXAMPLE_SCALE`` convention shared by the example scripts.
+
+Every script under ``examples/`` sizes its workload through
+:func:`scaled`, so the docs smoke test (``tests/test_examples.py``) can
+execute all of them at tiny sizes by exporting ``REPRO_EXAMPLE_SCALE``
+(a float in ``(0, 1]``; unset means full size).  Centralised here so the
+convention cannot drift between scripts.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["example_scale", "scaled"]
+
+
+def example_scale() -> float:
+    """The current workload scale factor (``REPRO_EXAMPLE_SCALE``, default 1)."""
+    return float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """*n* shrunk by the example scale factor, never below *minimum*."""
+    return max(minimum, int(n * example_scale()))

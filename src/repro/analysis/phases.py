@@ -192,6 +192,7 @@ class PhaseSegmentedAnalysis:
 
     @property
     def n_windows(self) -> int:
+        """Total windows attributed across all phases."""
         return int(self.window_phase.size)
 
     def windows_in_phase(self, phase: int) -> int:

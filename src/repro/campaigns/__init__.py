@@ -1,0 +1,54 @@
+"""Campaign orchestration: declarative sweeps over a content-addressed store.
+
+PR 1 made single runs fast and PR 2 made workloads declarative; this
+subpackage makes *fleets* of runs cheap to own.  A
+:class:`~repro.campaigns.spec.Campaign` expands a parameter grid (scenarios
+× seeds × window sizes × backends) into content-hashed
+:class:`~repro.campaigns.spec.RunSpec` cells; the runner fans them out
+through the engine's execution backends and persists every result in an
+on-disk :class:`~repro.campaigns.store.ResultStore` keyed by the spec hash.
+Consequences:
+
+* re-running a finished campaign recomputes **nothing** — every cell is a
+  warm O(read) hit, and the assembled report is byte-identical;
+* a killed sweep resumes where it stopped: completed cells were persisted
+  atomically as they finished, so only the missing ones run;
+* cells that differ only in execution backend share one result (the
+  engine's bit-identity guarantee, now load-bearing: the content key simply
+  omits execution knobs).
+
+Quickstart::
+
+    from repro.campaigns import Campaign, CampaignReport, run_campaign
+
+    campaign = Campaign(
+        "drift-sweep",
+        scenarios=("stationary", "alpha-drift"),
+        seeds=(0, 1, 2),
+        n_valids=(5_000,),
+        backends=("streaming",),
+        chunk_packets=10_000,
+    )
+    run = run_campaign(campaign, "results-store", pool="process")
+    print(run.n_computed, run.n_cached)          # cold: (6, 0); warm: (0, 6)
+    print(CampaignReport.from_store("results-store", "drift-sweep").render())
+
+CLI: ``repro campaign run|status|report``.
+"""
+
+from repro.campaigns.report import CampaignReport
+from repro.campaigns.runner import CampaignRun, CellOutcome, run_campaign
+from repro.campaigns.spec import Campaign, RunSpec, content_key, scenario_fingerprint
+from repro.campaigns.store import ResultStore
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "CampaignRun",
+    "CellOutcome",
+    "ResultStore",
+    "RunSpec",
+    "content_key",
+    "run_campaign",
+    "scenario_fingerprint",
+]

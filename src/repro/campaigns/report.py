@@ -1,0 +1,182 @@
+"""Cross-run comparison tables assembled from the result store.
+
+A :class:`CampaignReport` is built from a store and a campaign name alone —
+no live :class:`~repro.campaigns.spec.Campaign` object needed — because the
+runner records the campaign manifest in the store.  Everything the report
+prints is a pure function of stored payloads with deterministic ordering
+and rounding, so re-rendering a finished campaign produces byte-identical
+text: the property the warm-path test pins down.
+
+Three tables:
+
+* **cells** — one row per grid cell: who computed it, how many windows,
+  the head probability ``D(d=1)``, and the max adjacent-phase drift;
+* **summary** — per (scenario, N_V) group across seeds: mean/σ of the
+  pooled head probability and the drift statistic (the cross-seed view the
+  grid exists to produce);
+* **engine** — the engine stats of each stored run (backend that computed
+  it, chunk count, peak buffered packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Mapping, Union
+
+from repro.analysis.summary import format_table
+from repro.campaigns.store import ResultStore
+
+__all__ = ["CampaignReport"]
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    """Population mean and σ of a small list (deterministic, no numpy dtypes)."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, sqrt(variance)
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Comparison tables for one campaign, assembled from stored results.
+
+    Attributes
+    ----------
+    name:
+        Campaign name (the manifest key in the store).
+    manifest:
+        The recorded campaign manifest (name, description, expanded cells).
+    results:
+        Stored :class:`~repro.scenarios.run.ScenarioRun` payloads keyed by
+        content key — one entry per *unique* key, shared by duplicate cells.
+    missing:
+        Content keys the manifest lists but the store does not hold yet
+        (an interrupted sweep); their cells render with empty metrics.
+    """
+
+    name: str
+    manifest: Mapping
+    results: Mapping[str, object]
+    missing: tuple[str, ...]
+
+    @classmethod
+    def from_store(cls, store: Union[ResultStore, str], name: str) -> "CampaignReport":
+        """Load a campaign's manifest and every stored cell payload."""
+        store = store if isinstance(store, ResultStore) else ResultStore(store)
+        manifest = store.load_campaign(name)
+        results: dict[str, object] = {}
+        missing = []
+        for cell in manifest["cells"]:
+            key = cell["key"]
+            if key in results or key in missing:
+                continue
+            if key in store:
+                results[key] = store.get(key)
+            else:
+                missing.append(key)
+        return cls(name=name, manifest=manifest, results=results, missing=tuple(missing))
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the campaign has a stored result."""
+        return not self.missing
+
+    def cell_rows(self, quantity: str) -> list[dict]:
+        """One row per grid cell, in grid order."""
+        rows = []
+        for cell in self.manifest["cells"]:
+            row: dict[str, object] = {
+                "scenario": cell["scenario"],
+                "seed": cell["seed"],
+                "nv": cell["n_valid"],
+                "backend": cell["backend"],
+            }
+            run = self.results.get(cell["key"])
+            if run is None:
+                row.update({"windows": "", "D(d=1)": "", "max_drift": "", "status": "missing"})
+            else:
+                pooled = run.analysis.pooled(quantity)
+                row.update(
+                    {
+                        "windows": run.analysis.n_windows,
+                        "D(d=1)": round(float(pooled.values[0]), 6) if pooled.n_bins else 0.0,
+                        "max_drift": round(run.phases.max_drift(quantity), 4),
+                        "status": "stored",
+                    }
+                )
+            rows.append(row)
+        return rows
+
+    def summary_rows(self, quantity: str) -> list[dict]:
+        """Cross-seed aggregation per (scenario, N_V) group, in grid order."""
+        groups: dict[tuple[str, int], list] = {}
+        for cell in self.manifest["cells"]:
+            run = self.results.get(cell["key"])
+            if run is None:
+                continue
+            group = groups.setdefault((cell["scenario"], cell["n_valid"]), [])
+            # duplicate cells (same key under several backends) share one
+            # stored run; count each distinct seed once per group
+            if any(seen_seed == cell["seed"] for seen_seed, _ in group):
+                continue
+            group.append((cell["seed"], run))
+        rows = []
+        for (scenario, n_valid), members in groups.items():
+            heads = []
+            drifts = []
+            for _, run in members:
+                pooled = run.analysis.pooled(quantity)
+                heads.append(float(pooled.values[0]) if pooled.n_bins else 0.0)
+                drifts.append(run.phases.max_drift(quantity))
+            head_mean, head_sigma = _mean_std(heads)
+            drift_mean, _ = _mean_std(drifts)
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "nv": n_valid,
+                    "seeds": len(members),
+                    "D(d=1) mean": round(head_mean, 6),
+                    "D(d=1) sigma": round(head_sigma, 6),
+                    "max_drift mean": round(drift_mean, 4),
+                    "max_drift max": round(max(drifts, default=0.0), 4),
+                }
+            )
+        return rows
+
+    def engine_rows(self) -> list[dict]:
+        """Engine statistics of each unique stored run, in key order."""
+        rows = []
+        for key in sorted(self.results):
+            stats = self.results[key].engine_stats
+            rows.append(
+                {
+                    "key": key[:12],
+                    "scenario": stats.get("scenario", ""),
+                    "computed_by": stats.get("backend", ""),
+                    "n_chunks": stats.get("n_chunks", ""),
+                    "max_buffered_packets": stats.get("max_buffered_packets", ""),
+                }
+            )
+        return rows
+
+    def render(self, quantity: str = "source_fanout") -> str:
+        """The full report as deterministic text (what the CLI prints)."""
+        n_cells = len(self.manifest["cells"])
+        lines = [
+            f"campaign {self.name!r}: {n_cells} cells, "
+            f"{len(self.results)} unique results stored, {len(self.missing)} missing",
+            "",
+            f"cells — {quantity}:",
+            format_table(self.cell_rows(quantity)),
+            "",
+            f"cross-seed summary — {quantity}:",
+            format_table(self.summary_rows(quantity)),
+            "",
+            "engine stats per stored run:",
+            format_table(self.engine_rows()),
+        ]
+        return "\n".join(lines)

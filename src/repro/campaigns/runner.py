@@ -1,0 +1,266 @@
+"""Campaign execution: fan cells out, skip what the store already holds.
+
+:func:`run_campaign` is deliberately thin glue between three existing
+pieces: the grid expansion (:class:`~repro.campaigns.spec.Campaign`), the
+scenario engine (:func:`repro.scenarios.run.analyze_scenario`), and the
+content-addressed store (:class:`~repro.campaigns.store.ResultStore`).  Its
+contract:
+
+* a cell whose content key is already in the store is **never recomputed**
+  — a warm re-run of a finished campaign costs one read per cell;
+* cells that share a content key (e.g. the same scenario listed under two
+  backends) are computed once and resolved as deduplicated hits;
+* every completed cell is persisted atomically *as it finishes*, so killing
+  a sweep loses at most the cells in flight — re-running the campaign
+  resumes with exactly the missing cells;
+* run-level fan-out reuses the engine's
+  :class:`~repro.streaming.parallel.ExecutionBackend` pool (``pool=
+  "process"`` computes independent cells on worker processes), the same
+  substrate PR 1 built for window-level fan-out.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro._util.logging import get_logger
+from repro.campaigns.spec import Campaign, RunSpec
+from repro.campaigns.store import ResultStore
+from repro.scenarios.run import analyze_scenario
+
+__all__ = ["CellOutcome", "CampaignRun", "run_campaign"]
+
+_logger = get_logger("campaigns.runner")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one grid cell during a campaign run.
+
+    ``status`` is one of ``"computed"`` (freshly analysed and stored),
+    ``"cached"`` (complete in the store before the run — including cells
+    deduplicated against an identical cell computed earlier in the same
+    run), or ``"skipped"`` (left for later by a ``max_cells`` cap).
+    ``seconds`` is the compute time for freshly computed cells and ``None``
+    otherwise; ``n_windows`` is ``None`` only for skipped cells.
+    """
+
+    key: str
+    scenario: str
+    seed: int
+    n_valid: int
+    backend: str
+    status: str
+    seconds: Optional[float] = None
+    n_windows: Optional[int] = None
+
+    def as_row(self) -> dict:
+        """Flat dict row for tables."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "nv": self.n_valid,
+            "backend": self.backend,
+            "status": self.status,
+            "seconds": "" if self.seconds is None else round(self.seconds, 3),
+            "windows": "" if self.n_windows is None else self.n_windows,
+            "key": self.key[:12],
+        }
+
+
+@dataclass(frozen=True)
+class CampaignRun:
+    """Summary of one :func:`run_campaign` invocation."""
+
+    campaign: Campaign
+    store_root: str
+    outcomes: tuple[CellOutcome, ...]
+
+    @property
+    def n_cells(self) -> int:
+        """Total grid cells of the campaign."""
+        return len(self.outcomes)
+
+    @property
+    def n_computed(self) -> int:
+        """Cells actually analysed this run (the cold part of the sweep)."""
+        return sum(1 for o in self.outcomes if o.status == "computed")
+
+    @property
+    def n_cached(self) -> int:
+        """Cells satisfied from the store (warm hits + in-run dedup)."""
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def n_skipped(self) -> int:
+        """Cells left uncomputed by a ``max_cells`` cap."""
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    @property
+    def complete(self) -> bool:
+        """True when every grid cell now has a stored result."""
+        return self.n_skipped == 0
+
+    def as_rows(self) -> list[dict]:
+        """Per-cell outcome rows, in grid order."""
+        return [outcome.as_row() for outcome in self.outcomes]
+
+
+def _compute_cell(spec: RunSpec, *, store_root: str) -> dict:
+    """Analyse one cell and persist it; runs in-process or on a pool worker."""
+    store = ResultStore(store_root)
+    started = time.perf_counter()
+    run = analyze_scenario(
+        spec.scenario,
+        spec.n_valid,
+        seed=spec.seed,
+        quantities=spec.quantities,
+        backend=spec.backend,
+        n_workers=spec.n_workers,
+        chunk_packets=spec.chunk_packets,
+        block_packets=spec.block_packets,
+        keep_windows=False,
+    )
+    seconds = time.perf_counter() - started
+    n_windows = run.analysis.n_windows
+    store.put(
+        spec.key,
+        run,
+        meta={"spec": spec.as_manifest(), "seconds": round(seconds, 6), "n_windows": n_windows},
+    )
+    return {"key": spec.key, "seconds": seconds, "n_windows": n_windows}
+
+
+def run_campaign(
+    campaign: Campaign,
+    store: Union[ResultStore, str],
+    *,
+    pool: str | None = None,
+    pool_workers: int | None = None,
+    max_cells: int | None = None,
+    recompute: bool = False,
+) -> CampaignRun:
+    """Run (or resume) a campaign against a result store.
+
+    Parameters
+    ----------
+    campaign:
+        The grid to sweep.  Its manifest is recorded in the store, so
+        ``status`` and ``report`` need only the store and the name.
+    store:
+        A :class:`ResultStore` or the path of one (created if absent).
+    pool:
+        Run-level fan-out backend: ``None``/``"serial"`` computes cells one
+        by one; ``"process"`` distributes independent cells across worker
+        processes.  Cells whose own ``backend`` is ``"process"`` cannot run
+        under a process pool (worker processes may not spawn pools of their
+        own); use serial or streaming cell backends when fanning out.
+    pool_workers:
+        Worker count for ``pool="process"``.
+    max_cells:
+        Compute at most this many missing cells, leaving the rest
+        ``"skipped"`` — for smoke runs and partial sweeps; re-running the
+        campaign picks up exactly the cells left behind.
+    recompute:
+        Ignore existing store entries and recompute every cell (the cache
+        escape hatch; stored results are replaced).  Incompatible with
+        ``max_cells`` — a capped recompute could never advance past the
+        first cells.
+
+    Returns
+    -------
+    CampaignRun
+        One :class:`CellOutcome` per grid cell, in deterministic grid order.
+    """
+    from repro.streaming.parallel import get_backend
+
+    if recompute and max_cells is not None:
+        # a capped recompute can never advance: the deterministic todo order
+        # would re-select the same first cells on every invocation
+        raise ValueError("recompute=True cannot be combined with max_cells")
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    cells = campaign.cells()
+
+    todo: list[RunSpec] = []
+    assigned: set[str] = set()
+    for spec in cells:
+        if spec.key in assigned:
+            continue
+        if recompute or spec.key not in store:
+            todo.append(spec)
+            assigned.add(spec.key)
+    if max_cells is not None:
+        todo = todo[: max(0, int(max_cells))]
+        assigned = {spec.key for spec in todo}
+
+    # pool=None means serial, full stop — never the historical "process when
+    # n_workers > 1" inference of get_backend(None, ...); fan-out across
+    # processes must be an explicit pool="process" choice
+    pool_backend = get_backend(pool or "serial", n_workers=pool_workers)
+    if pool_backend.name == "process" and any(spec.backend == "process" for spec in todo):
+        raise ValueError(
+            "cells with backend='process' cannot run under pool='process' "
+            "(pool workers may not spawn process pools); use serial or "
+            "streaming cell backends when fanning out across processes"
+        )
+    # record the manifest only once the run is actually going to happen, so
+    # a rejected invocation leaves no stray campaign in the store; warn when
+    # this replaces a *different* grid recorded under the same name (the old
+    # grid's cells stay in the store but fall out of status/report)
+    try:
+        previous = store.load_campaign(campaign.name)
+    except KeyError:
+        previous = None
+    if previous is not None:
+        old_keys = {cell["key"] for cell in previous["cells"]}
+        new_keys = {spec.key for spec in cells}
+        if old_keys != new_keys:
+            _logger.warning(
+                "campaign %r already exists in %s with a different grid "
+                "(%d cells -> %d); its manifest is being replaced — results of "
+                "dropped cells remain stored but unreported",
+                campaign.name, store.root, len(old_keys), len(new_keys),
+            )
+    store.save_campaign(campaign.as_manifest())
+    _logger.info(
+        "campaign %r: %d cells, %d to compute (%s pool)",
+        campaign.name, len(cells), len(todo), pool_backend.name,
+    )
+
+    worker = functools.partial(_compute_cell, store_root=str(store.root))
+    computed: dict[str, dict] = {}
+    for result in pool_backend.map(worker, todo):
+        computed[result["key"]] = result
+        _logger.debug("computed cell %s in %.3fs", result["key"][:12], result["seconds"])
+
+    outcomes = []
+    for spec in cells:
+        key = spec.key
+        common = {
+            "key": key,
+            "scenario": spec.scenario.name,
+            "seed": spec.seed,
+            "n_valid": spec.n_valid,
+            "backend": spec.backend,
+        }
+        if key in computed and key in assigned:
+            fresh = computed[key]
+            outcomes.append(
+                CellOutcome(
+                    status="computed", seconds=fresh["seconds"],
+                    n_windows=fresh["n_windows"], **common,
+                )
+            )
+            # only the first cell of a key is "computed"; duplicates are hits
+            assigned.discard(key)
+        elif key in store:
+            record = store.record(key)
+            outcomes.append(
+                CellOutcome(status="cached", n_windows=record.get("n_windows"), **common)
+            )
+        else:
+            outcomes.append(CellOutcome(status="skipped", **common))
+    return CampaignRun(campaign=campaign, store_root=str(store.root), outcomes=outcomes)

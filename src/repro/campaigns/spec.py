@@ -1,0 +1,264 @@
+"""Content-hashed run specifications and the declarative campaign grid.
+
+A *campaign* is a parameter grid — scenarios × seeds × window sizes ×
+execution backends — that expands into concrete :class:`RunSpec` cells.
+Each cell carries a **content key**: a SHA-256 fingerprint of every
+parameter that determines the cell's *result* (the scenario's full phase
+structure, the seed, the window size, the quantities, and the generation
+block size).  Execution knobs — backend, chunk size, worker count — are
+deliberately **excluded** from the key: the PR-1 engine guarantees that
+every backend produces bit-identical pooled output for the same inputs, so
+two cells that differ only in how they are executed share one result.  The
+result store (:mod:`repro.campaigns.store`) is addressed by this key, which
+is what makes re-running a campaign skip completed cells and lets a sweep
+started on the serial backend warm-hit when re-run on the streaming one.
+
+The fingerprint is computed over a canonical JSON encoding (sorted keys,
+no whitespace, ``repr``-exact floats), so a key is stable across processes
+and sessions as long as the parameters are equal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from repro._util.validation import check_positive_int
+from repro.scenarios.scenario import Phase, Scenario, get_scenario
+from repro.scenarios.source import DEFAULT_BLOCK_PACKETS
+from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.parallel import BACKEND_NAMES
+
+__all__ = [
+    "SPEC_FORMAT_VERSION",
+    "RunSpec",
+    "Campaign",
+    "content_key",
+    "scenario_fingerprint",
+]
+
+#: Version woven into every content key; bump on any change to the result
+#: semantics (generator draw order, pooling definition, fingerprint layout)
+#: so stale store entries can never be mistaken for current ones.
+SPEC_FORMAT_VERSION = 1
+
+
+def _canonical(payload) -> str:
+    """Canonical JSON encoding used for hashing: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_key(payload: Mapping) -> str:
+    """SHA-256 hex digest of a canonical JSON encoding of *payload*.
+
+    The one hashing primitive shared by run specs and cached experiment rows;
+    anything addressable in the result store goes through here.
+    """
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _phase_fingerprint(phase: Phase) -> dict:
+    """Result-determining fields of one phase, in canonical form."""
+    return {
+        "graph": phase.graph,
+        "n_packets": int(phase.n_packets),
+        "graph_params": {str(k): float(v) for k, v in sorted(phase.graph_params.items())},
+        "rate_model": phase.rate_model,
+        "rate_exponent": float(phase.rate_exponent),
+        "lognormal_sigma": float(phase.lognormal_sigma),
+        "invalid_fraction": float(phase.invalid_fraction),
+        "mean_interarrival": float(phase.mean_interarrival),
+    }
+
+
+def scenario_fingerprint(scenario: Scenario) -> dict:
+    """Result-determining fields of a scenario (its *description* is not one).
+
+    Two scenarios with the same fingerprint generate bit-identical traces for
+    any fixed seed, even if they are registered under different names — the
+    name is included only because phase attribution reports it; renaming a
+    scenario is treated as a new cell.
+    """
+    return {
+        "name": scenario.name,
+        "phases": [_phase_fingerprint(phase) for phase in scenario.phases],
+        "crossfade_packets": int(scenario.crossfade_packets),
+    }
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified scenario run — a single cell of a campaign grid.
+
+    Attributes
+    ----------
+    scenario:
+        The resolved :class:`Scenario` to run (names are resolved at
+        campaign construction).
+    seed:
+        Scenario seed; part of the content key.
+    n_valid:
+        Window size ``N_V`` in valid packets; part of the content key.
+    quantities:
+        Figure-1 quantities to analyse; part of the content key.
+    block_packets:
+        Generation block size.  Part of the content key because the block
+        structure is part of the trace's identity (see
+        :class:`~repro.scenarios.source.ScenarioTraceSource`).
+    backend / chunk_packets / n_workers:
+        Execution knobs.  **Not** part of the content key: every backend
+        produces bit-identical results (the engine guarantee), so they only
+        describe *how* the cell is computed, never *what* it computes.
+    """
+
+    scenario: Scenario
+    seed: int
+    n_valid: int
+    quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
+    block_packets: int = DEFAULT_BLOCK_PACKETS
+    backend: str = "serial"
+    chunk_packets: int | None = None
+    n_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenario", get_scenario(self.scenario))
+        object.__setattr__(self, "quantities", tuple(self.quantities))
+        check_positive_int(self.n_valid, "n_valid")
+        check_positive_int(self.block_packets, "block_packets")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}")
+        unknown = set(self.quantities) - set(QUANTITY_NAMES)
+        if unknown:
+            raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
+        # hashed once: the runner and manifests read .key several times per cell
+        object.__setattr__(
+            self,
+            "_key",
+            content_key(
+                {
+                    "kind": "scenario-run",
+                    "format": SPEC_FORMAT_VERSION,
+                    "scenario": scenario_fingerprint(self.scenario),
+                    "seed": int(self.seed),
+                    "n_valid": int(self.n_valid),
+                    "quantities": list(self.quantities),
+                    "block_packets": int(self.block_packets),
+                }
+            ),
+        )
+
+    @property
+    def key(self) -> str:
+        """Content key of this cell's *result* (execution knobs excluded)."""
+        return self._key  # type: ignore[attr-defined]
+
+    def as_manifest(self) -> dict:
+        """JSON-ready description of the cell (content and execution fields)."""
+        return {
+            "key": self.key,
+            "scenario": self.scenario.name,
+            "seed": int(self.seed),
+            "n_valid": int(self.n_valid),
+            "quantities": list(self.quantities),
+            "block_packets": int(self.block_packets),
+            "backend": self.backend,
+            "chunk_packets": None if self.chunk_packets is None else int(self.chunk_packets),
+            "n_workers": None if self.n_workers is None else int(self.n_workers),
+        }
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative sweep: the cartesian grid of runs to perform.
+
+    Expansion order is deterministic — ``scenarios × seeds × n_valids ×
+    backends``, with the rightmost axis fastest — so two expansions of equal
+    campaigns list identical cells in identical order.  Scenario names are
+    resolved (and therefore validated) at construction time, like phase
+    configs are for scenarios themselves.
+
+    Because the content key excludes execution knobs, listing several
+    *backends* does not multiply the work: cells that differ only in backend
+    share one result key, and the runner computes each unique key once —
+    the remaining combinations resolve as warm hits.
+    """
+
+    name: str
+    scenarios: tuple[Union[str, Scenario], ...]
+    seeds: tuple[int, ...] = (0,)
+    n_valids: tuple[int, ...] = (5_000,)
+    quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
+    backends: tuple[str, ...] = ("serial",)
+    chunk_packets: int | None = None
+    block_packets: int = DEFAULT_BLOCK_PACKETS
+    n_workers: int | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("campaign name must be a non-empty string")
+        if not self.scenarios:
+            raise ValueError(f"campaign {self.name!r} must name at least one scenario")
+        if not self.seeds:
+            raise ValueError(f"campaign {self.name!r} must have at least one seed")
+        if not self.n_valids:
+            raise ValueError(f"campaign {self.name!r} must have at least one window size")
+        if not self.quantities:
+            raise ValueError(f"campaign {self.name!r} must analyse at least one quantity")
+        if not self.backends:
+            raise ValueError(f"campaign {self.name!r} must name at least one backend")
+        resolved = tuple(get_scenario(s) for s in self.scenarios)
+        object.__setattr__(self, "scenarios", resolved)
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(self, "n_valids", tuple(self.n_valids))
+        object.__setattr__(self, "quantities", tuple(self.quantities))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        # expand (and thereby validate) the grid once; cells() serves this
+        # tuple so repeated expansion never re-validates or re-hashes
+        object.__setattr__(self, "_cells", tuple(self._iter_cells()))
+
+    def _iter_cells(self) -> Iterable[RunSpec]:
+        for scenario, seed, n_valid, backend in itertools.product(
+            self.scenarios, self.seeds, self.n_valids, self.backends
+        ):
+            yield RunSpec(
+                scenario=scenario,
+                seed=seed,
+                n_valid=n_valid,
+                quantities=self.quantities,
+                block_packets=self.block_packets,
+                backend=backend,
+                chunk_packets=self.chunk_packets,
+                n_workers=self.n_workers,
+            )
+
+    def cells(self) -> tuple[RunSpec, ...]:
+        """The grid's concrete cells, in deterministic expansion order."""
+        return self._cells  # type: ignore[attr-defined]
+
+    @property
+    def n_cells(self) -> int:
+        """Number of grid cells (including combinations sharing a result key)."""
+        return (
+            len(self.scenarios) * len(self.seeds) * len(self.n_valids) * len(self.backends)
+        )
+
+    def unique_keys(self) -> tuple[str, ...]:
+        """Distinct result keys of the grid, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for spec in self.cells():
+            seen.setdefault(spec.key, None)
+        return tuple(seen)
+
+    def as_manifest(self) -> dict:
+        """JSON-ready description of the campaign and its expanded cells."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "n_cells": self.n_cells,
+            "cells": [spec.as_manifest() for spec in self.cells()],
+        }

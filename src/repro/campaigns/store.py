@@ -1,0 +1,225 @@
+"""Content-addressed on-disk result store.
+
+Every completed campaign cell (and every cached experiment table) lives in
+the store under its content key (:func:`repro.campaigns.spec.content_key`):
+
+```
+store/
+  store.json                  # store-format marker
+  objects/<kk>/<key>.pkl.gz   # pickled payload, reproducible gzip (mtime=0)
+  runs/<kk>/<key>.json        # metadata record: spec, backend, timing, version
+  campaigns/<name>.json       # campaign manifests (what `status`/`report` read)
+```
+
+where ``<kk>`` is the first two hex digits of the key (a fan-out prefix so
+no single directory grows unboundedly).  Payload and record are written via
+same-directory temp files and ``os.replace`` — the manifest discipline of
+:func:`repro.streaming.trace_io.write_json_atomic` — so a killed sweep
+leaves either a complete cell or no cell, never a torn one; that atomicity
+is the whole resume story.  A cell is *present* only when both its payload
+and its record exist (:meth:`ResultStore.__contains__`), so a crash between
+the two writes reads as "missing" and the cell is simply recomputed.
+
+Concurrent writers (the campaign runner's worker pool) are safe by
+construction: distinct cells touch distinct paths, and identical cells
+replace each other with identical content.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Tuple, Union
+
+from repro._util.logging import get_logger
+from repro.campaigns.spec import content_key
+from repro.streaming.trace_io import read_json, write_json_atomic
+
+__all__ = ["STORE_FORMAT_VERSION", "ResultStore"]
+
+#: On-disk store layout version, recorded in ``store.json``.
+STORE_FORMAT_VERSION = 1
+
+_logger = get_logger("campaigns.store")
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class ResultStore:
+    """Content-addressed persistence for analysis results.
+
+    The store maps a content key (a SHA-256 hex string naming *what* was
+    computed) to a pickled payload plus a JSON metadata record.  It never
+    interprets payloads; callers decide what a key means (campaign cells
+    store :class:`~repro.scenarios.run.ScenarioRun` objects, cached
+    experiments store plain row lists).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / "store.json"
+        if marker.exists():
+            version = int(read_json(marker).get("format", -1))
+            if version != STORE_FORMAT_VERSION:
+                raise ValueError(
+                    f"result store at {self.root} uses format {version}; "
+                    f"this build reads format {STORE_FORMAT_VERSION}"
+                )
+        else:
+            write_json_atomic(marker, {"format": STORE_FORMAT_VERSION})
+        self._prune_orphaned_temp_files()
+
+    #: Temp files younger than this are left alone at store open — they may
+    #: belong to a concurrent writer mid-put; older ones are debris from a
+    #: hard-killed sweep (SIGKILL skips the in-process cleanup).
+    _TEMP_MAX_AGE_SECONDS = 3600.0
+
+    def _prune_orphaned_temp_files(self) -> None:
+        """Remove stale ``*.tmp`` files a hard-killed writer left behind."""
+        cutoff = time.time() - self._TEMP_MAX_AGE_SECONDS
+        for pattern in ("objects/*/*.tmp", "runs/*/*.tmp", "campaigns/*.tmp", "*.tmp"):
+            for orphan in self.root.glob(pattern):
+                try:
+                    if orphan.stat().st_mtime < cutoff:
+                        orphan.unlink()
+                        _logger.debug("pruned orphaned temp file %s", orphan)
+                except OSError:  # pragma: no cover - racing writer finished/cleaned
+                    continue
+
+    # -- paths ---------------------------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl.gz"
+
+    def _record_path(self, key: str) -> Path:
+        return self.root / "runs" / key[:2] / f"{key}.json"
+
+    def campaign_path(self, name: str) -> Path:
+        """Path of one campaign's manifest inside the store."""
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid campaign name {name!r}")
+        return self.root / "campaigns" / f"{name}.json"
+
+    # -- cell API ------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        """True when both the payload and the metadata record exist."""
+        return self._object_path(key).is_file() and self._record_path(key).is_file()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys of every complete entry, sorted."""
+        objects = self.root / "objects"
+        for payload in sorted(objects.glob("*/*.pkl.gz")):
+            key = payload.name[: -len(".pkl.gz")]
+            if key in self:
+                yield key
+
+    def get(self, key: str):
+        """Load and return the payload stored under *key* (KeyError if absent)."""
+        if key not in self:
+            raise KeyError(f"no complete entry for key {key} in store {self.root}")
+        with gzip.open(self._object_path(key), "rb") as handle:
+            return pickle.load(handle)
+
+    def record(self, key: str) -> dict:
+        """The metadata record stored alongside *key*'s payload."""
+        if key not in self:
+            raise KeyError(f"no complete entry for key {key} in store {self.root}")
+        return read_json(self._record_path(key))
+
+    def put(self, key: str, payload, meta: Mapping | None = None) -> None:
+        """Persist *payload* under *key*, atomically, payload before record.
+
+        The gzip stream is written with ``mtime=0`` so equal payloads produce
+        byte-identical objects — the store's files are as content-addressed
+        as its keys.
+        """
+        buffer = io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # per-writer unique temp name: concurrent writers of the same key
+        # (identical content) must replace each other, never collide
+        handle = tempfile.NamedTemporaryFile(
+            "wb", dir=path.parent, prefix=path.name + ".", suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(buffer.getvalue())
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        write_json_atomic(
+            self._record_path(key),
+            {"key": key, "repro_version": _repro_version(), **dict(meta or {})},
+        )
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], object], meta: Mapping | None = None
+    ) -> Tuple[object, bool]:
+        """Return ``(payload, was_cached)``, computing and storing on a miss."""
+        if key in self:
+            return self.get(key), True
+        started = time.perf_counter()
+        payload = compute()
+        seconds = time.perf_counter() - started
+        self.put(key, payload, meta={"seconds": round(seconds, 6), **dict(meta or {})})
+        return payload, False
+
+    # -- cached experiment tables ---------------------------------------------
+
+    def cached_rows(
+        self, experiment: str, params: Mapping, compute: Callable[[], list]
+    ) -> Tuple[list, bool]:
+        """Cache one experiment driver's row list under a content key.
+
+        *params* must hold every result-determining argument of the driver
+        (execution knobs excluded, exactly like
+        :class:`~repro.campaigns.spec.RunSpec`); equal ``(experiment,
+        params)`` pairs share one entry across invocations.
+        """
+        from repro.campaigns.spec import SPEC_FORMAT_VERSION
+
+        # keyed on the result-semantics version (like campaign cells), not
+        # the store-layout version: bumping SPEC_FORMAT_VERSION must retire
+        # stale experiment rows too
+        key = content_key(
+            {"kind": "experiment", "format": SPEC_FORMAT_VERSION,
+             "experiment": experiment, "params": dict(params)}
+        )
+        rows, cached = self.get_or_compute(
+            key, compute, meta={"experiment": experiment, "params": dict(params)}
+        )
+        _logger.debug("experiment %s: %s", experiment, "cache hit" if cached else "computed")
+        return rows, cached
+
+    # -- campaign manifests ----------------------------------------------------
+
+    def save_campaign(self, manifest: Mapping) -> Path:
+        """Record a campaign manifest (name → expanded cells) in the store."""
+        return write_json_atomic(self.campaign_path(str(manifest["name"])), dict(manifest))
+
+    def load_campaign(self, name: str) -> dict:
+        """Load a campaign manifest previously saved by :meth:`save_campaign`."""
+        path = self.campaign_path(name)
+        if not path.is_file():
+            known = ", ".join(self.campaign_names()) or "none"
+            raise KeyError(f"no campaign {name!r} in store {self.root} (known: {known})")
+        return read_json(path)
+
+    def campaign_names(self) -> tuple[str, ...]:
+        """Names of every campaign recorded in the store, sorted."""
+        campaigns = self.root / "campaigns"
+        return tuple(sorted(p.stem for p in campaigns.glob("*.json")))

@@ -14,7 +14,9 @@ Exposes the main workflows as subcommands of ``python -m repro`` (or the
   rows (what EXPERIMENTS.md is built from),
 * ``scenarios`` — list the registered time-varying workload scenarios, or
   run one through the streaming engine and print the per-phase pooled
-  distributions and the adjacent-phase drift statistic.
+  distributions and the adjacent-phase drift statistic,
+* ``campaign`` — run, resume, inspect, and report declarative sweep grids
+  backed by the content-addressed result store (``repro.campaigns``).
 
 Every subcommand is a thin wrapper over the public API so that anything the
 CLI does can be scripted directly in Python.
@@ -48,9 +50,15 @@ __all__ = ["build_parser", "main"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser with all subcommands."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Hybrid Power-Law Models of Network Traffic' (PALU model).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -112,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--workers", type=int, default=None,
                      help="worker processes for the fig3 window map (default: 4, "
                           "ignored by the streaming backend)")
+    exp.add_argument("--store", default=None,
+                     help="result-store directory: cache each experiment's rows under a "
+                          "content key so repeated invocations are O(read)")
     exp.set_defaults(func=_cmd_experiments)
 
     scen = subparsers.add_parser("scenarios", help="time-varying traffic workload scenarios")
@@ -137,6 +148,61 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the scenario trace in chunks of this many packets "
                                "(bounds memory under --backend streaming)")
     scen_run.set_defaults(func=_cmd_scenarios_run)
+
+    camp = subparsers.add_parser(
+        "campaign", help="declarative sweep grids over the content-addressed result store"
+    )
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    camp_run = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign grid; completed cells are never recomputed"
+    )
+    camp_run.add_argument("--store", required=True,
+                          help="result-store directory (created if absent)")
+    camp_run.add_argument("--name", default="default", help="campaign name inside the store")
+    camp_run.add_argument("--scenarios", nargs="+", required=True,
+                          help="registered scenario names forming the grid's first axis")
+    camp_run.add_argument("--seeds", nargs="+", type=int, default=[0],
+                          help="scenario seeds (second grid axis)")
+    camp_run.add_argument("--nv", nargs="+", type=int, default=[5_000],
+                          help="window sizes N_V in valid packets (third grid axis)")
+    camp_run.add_argument("--quantities", nargs="+", default=list(QUANTITY_NAMES),
+                          choices=list(QUANTITY_NAMES), help="which Figure-1 quantities to analyse")
+    camp_run.add_argument("--backends", nargs="+", default=["serial"],
+                          choices=list(BACKEND_NAMES),
+                          help="execution backends (fourth grid axis; cells differing only "
+                               "in backend share one stored result)")
+    camp_run.add_argument("--chunk-packets", type=int, default=None,
+                          help="trace chunk size for streaming-backend cells")
+    camp_run.add_argument("--pool", choices=["serial", "process"], default="serial",
+                          help="run-level fan-out: compute independent cells serially or "
+                               "across worker processes")
+    camp_run.add_argument("--pool-workers", type=int, default=None,
+                          help="worker count for --pool process")
+    camp_run.add_argument("--max-cells", type=int, default=None,
+                          help="compute at most this many missing cells (partial sweep; "
+                               "re-running resumes the rest)")
+    camp_run.add_argument("--recompute", action="store_true",
+                          help="ignore stored results and recompute every cell")
+    camp_run.set_defaults(func=_cmd_campaign_run)
+
+    camp_status = camp_sub.add_parser(
+        "status", help="show completed/missing cell counts for stored campaigns"
+    )
+    camp_status.add_argument("--store", required=True, help="result-store directory")
+    camp_status.add_argument("name", nargs="?", default=None,
+                             help="campaign name (default: summarize every campaign)")
+    camp_status.set_defaults(func=_cmd_campaign_status)
+
+    camp_report = camp_sub.add_parser(
+        "report", help="assemble the cross-run comparison tables from the store"
+    )
+    camp_report.add_argument("--store", required=True, help="result-store directory")
+    camp_report.add_argument("name", help="campaign name")
+    camp_report.add_argument("--quantity", default="source_fanout",
+                             choices=list(QUANTITY_NAMES),
+                             help="quantity the cell/summary tables report")
+    camp_report.set_defaults(func=_cmd_campaign_report)
 
     return parser
 
@@ -281,9 +347,23 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             + exp.run_webcrawl_ablation()
         ),
     }
+    store = None
+    if args.store is not None:
+        from repro.campaigns.store import ResultStore
+
+        store = ResultStore(args.store)
+
     for name in args.which:
-        print(f"\n=== {name} ===")
-        rows = runners[name]()
+        header = f"\n=== {name} ==="
+        if store is not None:
+            # execution knobs (backend/workers/chunking) are excluded from the
+            # key on purpose: they never change the rows, only how fast they
+            # are produced — the same contract campaign cells follow
+            rows, cached = store.cached_rows(name, {}, runners[name])
+            header += " [cached]" if cached else " [computed]"
+        else:
+            rows = runners[name]()
+        print(header)
         if isinstance(rows, dict):
             rows = [rows]
         print(format_table(rows))
@@ -340,6 +420,101 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                   f"(phase {worst.phase_a} → {worst.phase_b})")
         else:
             print("single occupied phase; no adjacent-phase drift")
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaigns import Campaign, run_campaign
+
+    try:
+        campaign = Campaign(
+            args.name,
+            scenarios=tuple(args.scenarios),
+            seeds=tuple(args.seeds),
+            n_valids=tuple(args.nv),
+            quantities=tuple(args.quantities),
+            backends=tuple(args.backends),
+            chunk_packets=args.chunk_packets,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    print(f"campaign {campaign.name!r}: {campaign.n_cells} cells "
+          f"({len(campaign.unique_keys())} unique results) -> store {args.store}")
+    try:
+        run = run_campaign(
+            campaign,
+            args.store,
+            pool=args.pool,
+            pool_workers=args.pool_workers,
+            max_cells=args.max_cells,
+            recompute=args.recompute,
+        )
+    except ValueError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    print(format_table(run.as_rows()))
+    print(f"\ncomputed {run.n_computed}, cached {run.n_cached}, skipped {run.n_skipped}"
+          + ("" if run.complete else " — re-run to resume the skipped cells"))
+    return 0
+
+
+def _open_store_readonly(path: str):
+    """Open an existing result store without creating one at a mistyped path."""
+    from repro.campaigns import ResultStore
+
+    if not (Path(path) / "store.json").is_file():
+        raise KeyError(f"no result store at {path} (create one with 'repro campaign run')")
+    return ResultStore(path)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    try:
+        store = _open_store_readonly(args.store)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    names = [args.name] if args.name is not None else list(store.campaign_names())
+    if not names:
+        print(f"no campaigns recorded in store {store.root}")
+        return 0
+    rows = []
+    for name in names:
+        try:
+            manifest = store.load_campaign(name)
+        except KeyError as error:
+            print(f"error: {error.args[0]}")
+            return 2
+        keys = {cell["key"] for cell in manifest["cells"]}
+        stored = sum(1 for key in keys if key in store)
+        rows.append(
+            {
+                "campaign": name,
+                "cells": len(manifest["cells"]),
+                "unique": len(keys),
+                "stored": stored,
+                "missing": len(keys) - stored,
+                "complete": stored == len(keys),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaigns import CampaignReport
+
+    try:
+        report = CampaignReport.from_store(_open_store_readonly(args.store), args.name)
+        rendered = report.render(args.quantity)
+    except KeyError as error:
+        # unknown store/campaign, or a quantity the campaign never analysed
+        print(f"error: {error.args[0]}")
+        return 2
+    print(rendered)
+    if not report.complete:
+        print(f"\nnote: {len(report.missing)} cells missing — "
+              f"'repro campaign run' with the same grid resumes them")
     return 0
 
 

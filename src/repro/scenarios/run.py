@@ -56,6 +56,7 @@ class ScenarioRun:
 
     @property
     def engine_stats(self):
+        """Engine execution statistics of the underlying analysis."""
         return self.analysis.engine_stats
 
 

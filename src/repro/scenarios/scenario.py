@@ -137,6 +137,7 @@ class Scenario:
 
     @property
     def n_phases(self) -> int:
+        """Number of phases in the scenario."""
         return len(self.phases)
 
     @property

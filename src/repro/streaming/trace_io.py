@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator, Union
 
@@ -37,7 +38,39 @@ __all__ = [
     "iter_trace_chunks",
     "rechunk",
     "trace_format",
+    "read_json",
+    "write_json_atomic",
 ]
+
+
+def write_json_atomic(path: Union[str, os.PathLike], payload) -> Path:
+    """Write *payload* as JSON via a same-directory temp file and atomic rename.
+
+    A reader never observes a half-written file: either the previous content
+    is still in place or the new content is complete.  This is the manifest
+    discipline shared by the sharded-trace format and the campaign result
+    store (:mod:`repro.campaigns.store`), whose resumability depends on a
+    killed writer leaving no partial records behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent, prefix=path.name + ".", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, indent=1, sort_keys=False)
+        os.replace(handle.name, path)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+    return path
+
+
+def read_json(path: Union[str, os.PathLike]) -> dict:
+    """Read one JSON document (the inverse of :func:`write_json_atomic`)."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
 
 #: Format version written into every single-file archive.
 _FORMAT_VERSION = 1
@@ -85,8 +118,7 @@ def trace_format(path: Union[str, os.PathLike]) -> int:
 
 
 def _read_manifest(path: Path) -> dict:
-    with open(path / _MANIFEST_NAME, encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    manifest = read_json(path / _MANIFEST_NAME)
     version = int(manifest.get("version", -1))
     if version != _SHARDED_VERSION:
         raise ValueError(f"unsupported sharded trace format version {version}")
@@ -133,15 +165,16 @@ def save_trace_sharded(
         shards.append({"file": name, "n_packets": shard.n_packets, "n_valid": shard.n_valid})
         n_packets += shard.n_packets
         n_valid += shard.n_valid
-    manifest = {
-        "version": _SHARDED_VERSION,
-        "shard_packets": shard_packets,
-        "n_packets": n_packets,
-        "n_valid": n_valid,
-        "shards": shards,
-    }
-    with open(path / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=1)
+    write_json_atomic(
+        path / _MANIFEST_NAME,
+        {
+            "version": _SHARDED_VERSION,
+            "shard_packets": shard_packets,
+            "n_packets": n_packets,
+            "n_valid": n_valid,
+            "shards": shards,
+        },
+    )
     return path
 
 

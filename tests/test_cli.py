@@ -199,3 +199,119 @@ class TestScenarios:
     def test_subcommand_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenarios"])
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestCampaign:
+    GRID = [
+        "--scenarios", "stationary", "invalid-storm",
+        "--seeds", "0", "1",
+        "--nv", "2000",
+        "--quantities", "source_fanout",
+    ]
+
+    def test_run_status_report_roundtrip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "cli-demo", *self.GRID])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "computed 4, cached 0" in out
+
+        code = main(["campaign", "run", "--store", store, "--name", "cli-demo", *self.GRID])
+        assert code == 0
+        assert "computed 0, cached 4" in capsys.readouterr().out
+
+        code = main(["campaign", "status", "--store", store])
+        assert code == 0
+        status = capsys.readouterr().out
+        assert "cli-demo" in status and "True" in status
+
+        code = main(["campaign", "report", "--store", store, "cli-demo",
+                     "--quantity", "source_fanout"])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "cross-seed summary — source_fanout" in report
+        assert "0 missing" in report
+
+    def test_partial_run_reports_missing_and_resumes(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "partial",
+                     "--max-cells", "1", *self.GRID])
+        assert code == 0
+        assert "re-run to resume" in capsys.readouterr().out
+
+        code = main(["campaign", "report", "--store", store, "partial"])
+        assert code == 0
+        assert "cells missing" in capsys.readouterr().out
+
+        code = main(["campaign", "run", "--store", store, "--name", "partial", *self.GRID])
+        assert code == 0
+        assert "computed 3, cached 1" in capsys.readouterr().out
+
+    def test_unknown_scenario_fails_cleanly(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--store", str(tmp_path / "s"),
+                     "--scenarios", "does-not-exist"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_unknown_campaign_report_fails_cleanly(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        code = main(["campaign", "run", "--store", store, "--name", "exists",
+                     "--scenarios", "stationary", "--seeds", "0", "--nv", "2000",
+                     "--quantities", "source_fanout"])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["campaign", "status", "--store", store, "ghost"])
+        assert code == 2
+        assert "no campaign" in capsys.readouterr().out
+
+    def test_report_on_unanalysed_quantity_fails_cleanly(self, tmp_path, capsys):
+        store = str(tmp_path / "s")
+        code = main(["campaign", "run", "--store", store, "--name", "lp",
+                     "--scenarios", "stationary", "--seeds", "0", "--nv", "2000",
+                     "--quantities", "link_packets"])
+        assert code == 0
+        capsys.readouterr()
+        # default --quantity is source_fanout, which this campaign never analysed
+        code = main(["campaign", "report", "--store", store, "lp"])
+        assert code == 2
+        assert "was not analysed" in capsys.readouterr().out
+
+    def test_status_on_missing_store_does_not_create_it(self, tmp_path, capsys):
+        missing = tmp_path / "typo"
+        code = main(["campaign", "status", "--store", str(missing)])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_report_on_missing_store_does_not_create_it(self, tmp_path, capsys):
+        missing = tmp_path / "typo"
+        code = main(["campaign", "report", "--store", str(missing), "anything"])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().out
+        assert not missing.exists()
+
+    def test_process_cells_under_process_pool_fails_cleanly(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--store", str(tmp_path / "s"),
+                     "--scenarios", "stationary", "--nv", "2000",
+                     "--backends", "process", "--pool", "process"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_experiments_store_caches_rows(self, tmp_path, capsys):
+        store = str(tmp_path / "exp-store")
+        code = main(["experiments", "fig4", "--store", store])
+        assert code == 0
+        assert "[computed]" in capsys.readouterr().out
+        code = main(["experiments", "fig4", "--store", store])
+        assert code == 0
+        assert "[cached]" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Docstring-coverage gate on the public API.
+
+CI runs ``interrogate --fail-under=90`` against ``src/repro``; this test
+enforces the same floor offline via ``tools/check_docstrings.py`` so the
+gate cannot silently regress on machines without interrogate installed.
+The floor is a ratchet: raise it as coverage grows, never lower it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_docstrings  # noqa: E402
+
+FAIL_UNDER = 95.0
+
+
+def test_public_api_docstring_coverage():
+    total, entries = check_docstrings.coverage([REPO_ROOT / "src" / "repro"])
+    missing = [name for name, has in entries if not has]
+    assert total >= FAIL_UNDER, (
+        f"docstring coverage {total:.1f}% fell below {FAIL_UNDER}%; "
+        f"undocumented: {missing[:20]}"
+    )
+
+
+def test_every_public_export_resolves_and_is_documented():
+    """Everything in ``repro.__all__`` must exist and carry a docstring."""
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        obj = getattr(repro, name)  # raises AttributeError on a broken export
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"public exports without docstrings: {undocumented}"

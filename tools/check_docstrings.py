@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (a dependency-free stand-in for ``interrogate``).
+
+Counts docstrings on modules, public classes, and public functions/methods
+(top-level and class-level defs whose names do not start with ``_``) across
+a source tree, prints per-file coverage, and exits non-zero when total
+coverage falls below ``--fail-under``.  CI runs the real ``interrogate``
+when available; this tool keeps the same gate enforceable offline through
+``tests/test_docstrings.py``.
+
+Usage: ``python tools/check_docstrings.py [--fail-under 90] [path ...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["collect_file", "coverage", "main"]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def collect_file(path: Path) -> list[tuple[str, bool]]:
+    """``(qualified_name, has_docstring)`` for every checked object in *path*."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    entries: list[tuple[str, bool]] = [(f"{path}", ast.get_docstring(tree) is not None)]
+
+    def visit(nodes, prefix: str) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name):
+                    entries.append(
+                        (f"{prefix}{node.name}", ast.get_docstring(node) is not None)
+                    )
+            elif isinstance(node, ast.ClassDef):
+                if _is_public(node.name):
+                    entries.append(
+                        (f"{prefix}{node.name}", ast.get_docstring(node) is not None)
+                    )
+                    visit(node.body, f"{prefix}{node.name}.")
+
+    visit(tree.body, f"{path}::")
+    return entries
+
+
+def coverage(paths: list[Path]) -> tuple[float, list[tuple[str, bool]]]:
+    """Total coverage percentage and the per-object results for *paths*."""
+    entries: list[tuple[str, bool]] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            entries.extend(collect_file(file))
+    if not entries:
+        return 100.0, entries
+    covered = sum(1 for _, has in entries if has)
+    return 100.0 * covered / len(entries), entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
+    parser.add_argument("--fail-under", type=float, default=90.0,
+                        help="minimum acceptable total coverage percentage")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every undocumented object")
+    args = parser.parse_args(argv)
+
+    total, entries = coverage([Path(p) for p in args.paths])
+    missing = [name for name, has in entries if not has]
+    if args.verbose or total < args.fail_under:
+        for name in missing:
+            print(f"missing docstring: {name}")
+    print(f"docstring coverage: {total:.1f}% "
+          f"({len(entries) - len(missing)}/{len(entries)} objects documented)")
+    if total < args.fail_under:
+        print(f"FAILED: coverage {total:.1f}% is below --fail-under {args.fail_under}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
