@@ -10,11 +10,16 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import (
     run_lambda_estimator_ablation,
     run_webcrawl_ablation,
     run_window_invariance_ablation,
 )
+
+# full ablation drivers — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
 
 
 def test_window_invariance_ablation(run_once):

@@ -17,6 +17,10 @@ import pytest
 
 from repro.campaigns import Campaign, run_campaign
 
+# cold campaign sweeps across pools — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
+
+
 SEEDS = (0, 1)
 SCENARIOS = ("stationary", "alpha-drift", "flash-crowd")
 N_VALID = 5_000

@@ -19,6 +19,10 @@ from repro.generators.palu_graph import generate_palu_graph
 from repro.streaming.pipeline import analyze_trace
 from repro.streaming.trace_generator import generate_trace
 
+# the full Figure-3 sweep takes ~10s — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
+
+
 
 def test_fig3_single_panel(run_once):
     row = run_once(run_fig3_scenario, FIG3_SCENARIOS[0])

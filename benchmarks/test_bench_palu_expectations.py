@@ -9,10 +9,15 @@ closed-form evaluation kernels themselves.
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.core.palu_model import expected_degree_fractions
 from repro.experiments import run_palu_expectations
 from repro.experiments.config import default_palu_parameters
+
+# full expectation sweep — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
+
 
 
 def test_palu_expectation_sweep(run_once):

@@ -22,6 +22,9 @@ The package is organised into five subpackages:
   scenarios × seeds × backends, expanded into content-hashed run specs,
   executed through the engine's backend pool, and persisted in an on-disk
   result store so finished cells are never recomputed.
+* :mod:`repro.detect` — online drift detection: streaming change-point
+  detectors (EWMA / CUSUM / Page–Hinkley) riding the single-pass engine in
+  O(bins) memory, scored against scenario ground truth.
 
 Quickstart::
 
@@ -35,7 +38,7 @@ Quickstart::
     print(fit.as_row())
 """
 
-from repro import analysis, campaigns, core, generators, scenarios, streaming
+from repro import analysis, campaigns, core, detect, generators, scenarios, streaming
 from repro.campaigns import (
     Campaign,
     CampaignReport,
@@ -86,6 +89,16 @@ from repro.generators import (
     sample_edges,
     webcrawl_sample,
 )
+from repro.detect import (
+    DETECTOR_NAMES,
+    DetectingAnalyzer,
+    DetectionResult,
+    DetectorEvaluation,
+    DriftDetector,
+    evaluate_detectors,
+    evaluate_run,
+    get_detector,
+)
 from repro.scenarios import (
     Phase,
     Scenario,
@@ -116,9 +129,19 @@ __all__ = [
     "analysis",
     "campaigns",
     "core",
+    "detect",
     "generators",
     "scenarios",
     "streaming",
+    # detect
+    "DETECTOR_NAMES",
+    "DetectingAnalyzer",
+    "DetectionResult",
+    "DetectorEvaluation",
+    "DriftDetector",
+    "evaluate_detectors",
+    "evaluate_run",
+    "get_detector",
     # campaigns
     "Campaign",
     "CampaignReport",

@@ -74,9 +74,11 @@ class CampaignReport:
             key = cell["key"]
             if key in results or key in missing:
                 continue
-            if key in store:
+            try:
+                # one verified read per cell; a torn/corrupt/undecodable
+                # cell reports as missing rather than crashing the report
                 results[key] = store.get(key)
-            else:
+            except KeyError:
                 missing.append(key)
         return cls(name=name, manifest=manifest, results=results, missing=tuple(missing))
 

@@ -123,6 +123,7 @@ def _compute_cell(spec: RunSpec, *, store_root: str) -> dict:
         chunk_packets=spec.chunk_packets,
         block_packets=spec.block_packets,
         keep_windows=False,
+        detectors=spec.detectors,
     )
     seconds = time.perf_counter() - started
     n_windows = run.analysis.n_windows

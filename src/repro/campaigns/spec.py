@@ -4,8 +4,8 @@ A *campaign* is a parameter grid — scenarios × seeds × window sizes ×
 execution backends — that expands into concrete :class:`RunSpec` cells.
 Each cell carries a **content key**: a SHA-256 fingerprint of every
 parameter that determines the cell's *result* (the scenario's full phase
-structure, the seed, the window size, the quantities, and the generation
-block size).  Execution knobs — backend, chunk size, worker count — are
+structure, the seed, the window size, the quantities, the generation
+block size, and the online drift detectors riding the run).  Execution knobs — backend, chunk size, worker count — are
 deliberately **excluded** from the key: the PR-1 engine guarantees that
 every backend produces bit-identical pooled output for the same inputs, so
 two cells that differ only in how they are executed share one result.  The
@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Union
 
 from repro._util.validation import check_positive_int
+from repro.detect.detectors import DETECTOR_NAMES, get_detector
 from repro.scenarios.scenario import Phase, Scenario, get_scenario
 from repro.scenarios.source import DEFAULT_BLOCK_PACKETS
 from repro.streaming.aggregates import QUANTITY_NAMES
@@ -43,7 +44,8 @@ __all__ = [
 #: Version woven into every content key; bump on any change to the result
 #: semantics (generator draw order, pooling definition, fingerprint layout)
 #: so stale store entries can never be mistaken for current ones.
-SPEC_FORMAT_VERSION = 1
+#: v2: the fingerprint gained the ``detectors`` axis (PR 4).
+SPEC_FORMAT_VERSION = 2
 
 
 def _canonical(payload) -> str:
@@ -109,10 +111,19 @@ class RunSpec:
         Generation block size.  Part of the content key because the block
         structure is part of the trace's identity (see
         :class:`~repro.scenarios.source.ScenarioTraceSource`).
+    detectors:
+        Online drift detectors to run alongside the analysis
+        (:data:`repro.detect.DETECTOR_NAMES` names; empty = no detection).
+        Part of the content key — the stored result carries the alarm
+        sequences, so cells with different detector sets hold different
+        payloads.  Each detector's *tuning parameters* are hashed too, so
+        retuning a default threshold retires stale cached alarms
+        mechanically instead of relying on a manual version bump.
     backend / chunk_packets / n_workers:
         Execution knobs.  **Not** part of the content key: every backend
-        produces bit-identical results (the engine guarantee), so they only
-        describe *how* the cell is computed, never *what* it computes.
+        produces bit-identical results (the engine guarantee, which the
+        detectors inherit), so they only describe *how* the cell is
+        computed, never *what* it computes.
     """
 
     scenario: Scenario
@@ -120,6 +131,7 @@ class RunSpec:
     n_valid: int
     quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
     block_packets: int = DEFAULT_BLOCK_PACKETS
+    detectors: tuple[str, ...] = ()
     backend: str = "serial"
     chunk_packets: int | None = None
     n_workers: int | None = None
@@ -127,6 +139,7 @@ class RunSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenario", get_scenario(self.scenario))
         object.__setattr__(self, "quantities", tuple(self.quantities))
+        object.__setattr__(self, "detectors", tuple(self.detectors))
         check_positive_int(self.n_valid, "n_valid")
         check_positive_int(self.block_packets, "block_packets")
         if self.backend not in BACKEND_NAMES:
@@ -134,6 +147,13 @@ class RunSpec:
         unknown = set(self.quantities) - set(QUANTITY_NAMES)
         if unknown:
             raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
+        unknown_detectors = set(self.detectors) - set(DETECTOR_NAMES)
+        if unknown_detectors:
+            raise ValueError(
+                f"unknown detectors {sorted(unknown_detectors)}; valid names: {DETECTOR_NAMES}"
+            )
+        if len(set(self.detectors)) != len(self.detectors):
+            raise ValueError(f"duplicate detectors in {list(self.detectors)}")
         # hashed once: the runner and manifests read .key several times per cell
         object.__setattr__(
             self,
@@ -147,6 +167,18 @@ class RunSpec:
                     "n_valid": int(self.n_valid),
                     "quantities": list(self.quantities),
                     "block_packets": int(self.block_packets),
+                    # names AND tuned parameters: alarms are a function of
+                    # both, so a default retune must change the key
+                    "detectors": [
+                        {
+                            "name": name,
+                            "params": {
+                                k: float(v)
+                                for k, v in sorted(get_detector(name).params().items())
+                            },
+                        }
+                        for name in self.detectors
+                    ],
                 }
             ),
         )
@@ -165,6 +197,7 @@ class RunSpec:
             "n_valid": int(self.n_valid),
             "quantities": list(self.quantities),
             "block_packets": int(self.block_packets),
+            "detectors": list(self.detectors),
             "backend": self.backend,
             "chunk_packets": None if self.chunk_packets is None else int(self.chunk_packets),
             "n_workers": None if self.n_workers is None else int(self.n_workers),
@@ -192,6 +225,7 @@ class Campaign:
     seeds: tuple[int, ...] = (0,)
     n_valids: tuple[int, ...] = (5_000,)
     quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
+    detectors: tuple[str, ...] = ()
     backends: tuple[str, ...] = ("serial",)
     chunk_packets: int | None = None
     block_packets: int = DEFAULT_BLOCK_PACKETS
@@ -216,6 +250,7 @@ class Campaign:
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
         object.__setattr__(self, "n_valids", tuple(self.n_valids))
         object.__setattr__(self, "quantities", tuple(self.quantities))
+        object.__setattr__(self, "detectors", tuple(self.detectors))
         object.__setattr__(self, "backends", tuple(self.backends))
         # expand (and thereby validate) the grid once; cells() serves this
         # tuple so repeated expansion never re-validates or re-hashes
@@ -231,6 +266,7 @@ class Campaign:
                 n_valid=n_valid,
                 quantities=self.quantities,
                 block_packets=self.block_packets,
+                detectors=self.detectors,
                 backend=backend,
                 chunk_packets=self.chunk_packets,
                 n_workers=self.n_workers,

@@ -17,8 +17,11 @@ same-directory temp files and ``os.replace`` — the manifest discipline of
 :func:`repro.streaming.trace_io.write_json_atomic` — so a killed sweep
 leaves either a complete cell or no cell, never a torn one; that atomicity
 is the whole resume story.  A cell is *present* only when both its payload
-and its record exist (:meth:`ResultStore.__contains__`), so a crash between
-the two writes reads as "missing" and the cell is simply recomputed.
+and its record exist **and verify** (:meth:`ResultStore.__contains__`
+checks the record parses and the payload matches the byte size and SHA-256
+digest the record pinned), so a crash between the two writes — or a
+truncated / corrupted file from a dying disk — reads as "missing" and the
+cell is simply recomputed, never crashed on.
 
 Concurrent writers (the campaign runner's worker pool) are safe by
 construction: distinct cells touch distinct paths, and identical cells
@@ -28,6 +31,7 @@ replace each other with identical content.
 from __future__ import annotations
 
 import gzip
+import hashlib
 import io
 import os
 import pickle
@@ -77,6 +81,10 @@ class ResultStore:
                 )
         else:
             write_json_atomic(marker, {"format": STORE_FORMAT_VERSION})
+        # keys whose payload already passed size+digest verification in this
+        # process — verification is per-content, and concurrent writers of
+        # the same key write identical bytes, so a pass never goes stale
+        self._verified: set = set()
         self._prune_orphaned_temp_files()
 
     #: Temp files younger than this are left alone at store open — they may
@@ -112,9 +120,75 @@ class ResultStore:
 
     # -- cell API ------------------------------------------------------------
 
+    def _read_record(self, key: str) -> dict | None:
+        """The metadata record, or ``None`` when absent or unparseable.
+
+        A record that cannot be parsed (torn or corrupted on disk) is
+        indistinguishable from a missing one on purpose: the cell must read
+        as absent so a resuming sweep recomputes it instead of crashing.
+        """
+        path = self._record_path(key)
+        try:
+            record = read_json(path)
+        except (OSError, ValueError):
+            if path.is_file():
+                _logger.warning("unreadable record for key %s in %s; treating cell as missing",
+                                key[:12], self.root)
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _verified_payload(self, key: str, record: Mapping) -> bytes | None:
+        """Read the payload file, verified against its record's pins.
+
+        Returns the raw (still-compressed) bytes when they match the size
+        and SHA-256 digest the record pinned at write time, else ``None``:
+        truncation is caught by the size check without reading the file,
+        in-place corruption by the digest.  Records written before these
+        fields existed verify by existence alone.  The single read here is
+        the store's whole integrity story — callers decompress from the
+        returned buffer, never from disk a second time.
+        """
+        path = self._object_path(key)
+        expected_size = record.get("payload_bytes")
+        try:
+            if expected_size is not None and path.stat().st_size != int(expected_size):
+                _logger.warning("payload size mismatch for key %s in %s; "
+                                "treating cell as missing", key[:12], self.root)
+                return None
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        expected_sha = record.get("payload_sha256")
+        if expected_sha is not None and key not in self._verified:
+            if hashlib.sha256(raw).hexdigest() != expected_sha:
+                _logger.warning("payload digest mismatch for key %s in %s; "
+                                "treating cell as missing", key[:12], self.root)
+                return None
+        self._verified.add(key)
+        return raw
+
     def __contains__(self, key: str) -> bool:
-        """True when both the payload and the metadata record exist."""
-        return self._object_path(key).is_file() and self._record_path(key).is_file()
+        """True when the payload and record exist *and* verify.
+
+        A cell is present only when its record parses and its payload
+        matches the size and SHA-256 digest the record pinned at write
+        time — so a torn write, a truncation, or on-disk corruption of
+        either file reads as "missing" (and is recomputed on resume),
+        never crashed on.  Each payload is hashed at most once per store
+        instance (repeat checks re-stat the size only), so a warm sweep
+        verifies every cell exactly once.
+        """
+        record = self._read_record(key)
+        if record is None:
+            return False
+        if key in self._verified:
+            path = self._object_path(key)
+            expected_size = record.get("payload_bytes")
+            try:
+                return expected_size is None or path.stat().st_size == int(expected_size)
+            except OSError:
+                return False
+        return self._verified_payload(key, record) is not None
 
     def keys(self) -> Iterator[str]:
         """Iterate over the keys of every complete entry, sorted."""
@@ -125,28 +199,68 @@ class ResultStore:
                 yield key
 
     def get(self, key: str):
-        """Load and return the payload stored under *key* (KeyError if absent)."""
-        if key not in self:
+        """Load and return the payload stored under *key*.
+
+        Raises ``KeyError`` when the cell is absent — including when either
+        file is torn or corrupted (verification failure, or a
+        decompression/unpickling failure on bytes that matched their
+        digest, e.g. a payload pickled by an incompatible version).  One
+        disk read total: verification and decompression share the buffer.
+        """
+        record = self._read_record(key)
+        if record is None:
             raise KeyError(f"no complete entry for key {key} in store {self.root}")
-        with gzip.open(self._object_path(key), "rb") as handle:
-            return pickle.load(handle)
+        raw = self._verified_payload(key, record)
+        if raw is None:
+            raise KeyError(f"no complete entry for key {key} in store {self.root}")
+        try:
+            with gzip.GzipFile(fileobj=io.BytesIO(raw), mode="rb") as handle:
+                return pickle.load(handle)
+        except Exception as error:
+            # deliberately broad: the bytes already passed verification, so
+            # any decode failure — zlib.error, UnpicklingError, the
+            # ModuleNotFoundError/TypeError of an incompatible-version
+            # pickle, ... — means the payload is unusable and the cell must
+            # read as missing (recomputed), never crash the caller
+            _logger.warning("undecodable payload for key %s in %s (%s); "
+                            "treating cell as missing", key[:12], self.root, error)
+            raise KeyError(f"undecodable payload for key {key} in store {self.root}") from error
 
     def record(self, key: str) -> dict:
-        """The metadata record stored alongside *key*'s payload."""
-        if key not in self:
+        """The metadata record stored alongside *key*'s payload.
+
+        Cheap by design — two stats and a JSON parse, no payload hashing —
+        for presence listings like ``campaign status`` that must not read
+        the whole store; callers needing full integrity use ``key in
+        store`` or :meth:`get`.  Raises ``KeyError`` unless the record
+        parses and the payload file exists with the pinned byte size (so
+        torn and truncated cells still read as missing here; same-size
+        corruption is caught at payload-read time).
+        """
+        record = self._read_record(key)
+        if record is None:
             raise KeyError(f"no complete entry for key {key} in store {self.root}")
-        return read_json(self._record_path(key))
+        expected_size = record.get("payload_bytes")
+        try:
+            size = self._object_path(key).stat().st_size
+        except OSError:
+            raise KeyError(f"no complete entry for key {key} in store {self.root}") from None
+        if expected_size is not None and size != int(expected_size):
+            raise KeyError(f"torn payload for key {key} in store {self.root}")
+        return record
 
     def put(self, key: str, payload, meta: Mapping | None = None) -> None:
         """Persist *payload* under *key*, atomically, payload before record.
 
         The gzip stream is written with ``mtime=0`` so equal payloads produce
         byte-identical objects — the store's files are as content-addressed
-        as its keys.
+        as its keys.  The record pins the payload's byte size and SHA-256
+        digest, which is what lets :meth:`__contains__` verify cells.
         """
         buffer = io.BytesIO()
         with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        payload_bytes = buffer.getvalue()
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # per-writer unique temp name: concurrent writers of the same key
@@ -156,22 +270,35 @@ class ResultStore:
         )
         try:
             with handle:
-                handle.write(buffer.getvalue())
+                handle.write(payload_bytes)
             os.replace(handle.name, path)
         except BaseException:
             os.unlink(handle.name)
             raise
         write_json_atomic(
             self._record_path(key),
-            {"key": key, "repro_version": _repro_version(), **dict(meta or {})},
+            {
+                "key": key,
+                "repro_version": _repro_version(),
+                "payload_bytes": len(payload_bytes),
+                "payload_sha256": hashlib.sha256(payload_bytes).hexdigest(),
+                **dict(meta or {}),
+            },
         )
 
     def get_or_compute(
         self, key: str, compute: Callable[[], object], meta: Mapping | None = None
     ) -> Tuple[object, bool]:
-        """Return ``(payload, was_cached)``, computing and storing on a miss."""
-        if key in self:
+        """Return ``(payload, was_cached)``, computing and storing on a miss.
+
+        "Miss" includes a stored cell that fails verification *or*
+        unpickling — anything :meth:`get` refuses to return is recomputed
+        and overwritten, never crashed on.
+        """
+        try:
             return self.get(key), True
+        except KeyError:
+            pass
         started = time.perf_counter()
         payload = compute()
         seconds = time.perf_counter() - started

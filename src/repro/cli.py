@@ -15,6 +15,10 @@ Exposes the main workflows as subcommands of ``python -m repro`` (or the
 * ``scenarios`` — list the registered time-varying workload scenarios, or
   run one through the streaming engine and print the per-phase pooled
   distributions and the adjacent-phase drift statistic,
+* ``detect`` — list the online drift detectors, or run a scenario with
+  detection riding the single-pass engine and score the alarms against the
+  scenario's ground-truth phase boundaries (latency, precision/recall,
+  false-alarm rate),
 * ``campaign`` — run, resume, inspect, and report declarative sweep grids
   backed by the content-addressed result store (``repro.campaigns``).
 
@@ -38,6 +42,7 @@ from repro.core.palu_fit import fit_palu
 from repro.core.palu_model import PALUParameters
 from repro.core.powerlaw_fit import fit_power_law
 from repro.core.zm_fit import fit_zipf_mandelbrot
+from repro.detect.detectors import DETECTOR_NAMES
 from repro.generators.palu_graph import generate_palu_graph
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import BACKEND_NAMES
@@ -149,6 +154,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "(bounds memory under --backend streaming)")
     scen_run.set_defaults(func=_cmd_scenarios_run)
 
+    det = subparsers.add_parser(
+        "detect", help="online drift detection over the streaming engine"
+    )
+    det_sub = det.add_subparsers(dest="detect_command", required=True)
+
+    det_list = det_sub.add_parser("list", help="list the built-in drift detectors")
+    det_list.set_defaults(func=_cmd_detect_list)
+
+    det_run = det_sub.add_parser(
+        "run",
+        help="run one scenario with online detection and score the alarms "
+             "against the scenario's ground-truth phase boundaries",
+    )
+    det_run.add_argument("name", help="a registered scenario name (see 'scenarios list')")
+    det_run.add_argument("--nv", type=int, default=2_000, help="window size N_V in valid packets")
+    det_run.add_argument("--seed", type=int, default=0, help="scenario seed")
+    det_run.add_argument("--detectors", nargs="+", default=list(DETECTOR_NAMES),
+                         choices=list(DETECTOR_NAMES),
+                         help="which detectors ride the analysis pass")
+    det_run.add_argument("--quantity", default=None, choices=list(QUANTITY_NAMES),
+                         help="pooled quantity the detectors monitor "
+                              "(default: source_fanout)")
+    det_run.add_argument("--max-latency", type=int, default=8,
+                         help="windows after a true boundary within which an alarm "
+                              "counts as detecting it")
+    det_run.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                         help="execution backend (alarm sequences are identical on all)")
+    det_run.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the window map (process backend)")
+    det_run.add_argument("--chunk-packets", type=int, default=None,
+                         help="emit the scenario trace in chunks of this many packets "
+                              "(bounds memory under --backend streaming)")
+    det_run.set_defaults(func=_cmd_detect_run)
+
     camp = subparsers.add_parser(
         "campaign", help="declarative sweep grids over the content-addressed result store"
     )
@@ -168,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="window sizes N_V in valid packets (third grid axis)")
     camp_run.add_argument("--quantities", nargs="+", default=list(QUANTITY_NAMES),
                           choices=list(QUANTITY_NAMES), help="which Figure-1 quantities to analyse")
+    camp_run.add_argument("--detectors", nargs="+", default=[],
+                          choices=list(DETECTOR_NAMES),
+                          help="online drift detectors to run in every cell "
+                               "(part of the content key; default: none)")
     camp_run.add_argument("--backends", nargs="+", default=["serial"],
                           choices=list(BACKEND_NAMES),
                           help="execution backends (fourth grid axis; cells differing only "
@@ -423,6 +466,68 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detect_list(args: argparse.Namespace) -> int:
+    from repro.detect import get_detector
+
+    rows = []
+    for name in DETECTOR_NAMES:
+        detector = get_detector(name)
+        params = dict(detector.params())
+        rows.append(
+            {
+                "detector": name,
+                "class": type(detector).__name__,
+                "params": " ".join(f"{k}={v}" for k, v in params.items()),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_detect_run(args: argparse.Namespace) -> int:
+    from repro.detect import evaluate_run
+    from repro.detect.evaluate import true_change_windows
+    from repro.scenarios import analyze_scenario, get_scenario
+
+    if args.max_latency < 0:
+        print(f"error: --max-latency must be >= 0, got {args.max_latency}")
+        return 2
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    print(f"scenario {scenario.name!r}: {scenario.n_phases} phases, "
+          f"{scenario.n_packets} packets, crossfade {scenario.crossfade_packets}")
+    run = analyze_scenario(
+        scenario,
+        args.nv,
+        seed=args.seed,
+        backend=args.backend,
+        n_workers=args.workers,
+        chunk_packets=args.chunk_packets,
+        # argparse choices allow repeats; asking for a detector twice just
+        # means "this one", so dedupe rather than error
+        detectors=tuple(dict.fromkeys(args.detectors)),
+        detect_quantity=args.quantity,
+    )
+    stats = run.engine_stats
+    print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
+          f"peak buffered packets={stats.get('max_buffered_packets')}")
+    detection = run.detection
+    boundaries = true_change_windows(run.phases.window_phase)
+    print(f"{detection.n_windows} windows of N_V = {args.nv} valid packets; "
+          f"monitoring {detection.quantity!r}")
+    print("true phase-boundary windows: "
+          + (" ".join(str(b) for b in boundaries) or "none (single regime)"))
+    print("\nalarms per detector:")
+    print(format_table(detection.as_rows()))
+    print(f"\nevaluation vs ground truth (max latency {args.max_latency} windows):")
+    evaluations = evaluate_run(run, max_latency=args.max_latency)
+    print(format_table([ev.as_row() for ev in evaluations]))
+    return 0
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.campaigns import Campaign, run_campaign
 
@@ -433,6 +538,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             seeds=tuple(args.seeds),
             n_valids=tuple(args.nv),
             quantities=tuple(args.quantities),
+            detectors=tuple(dict.fromkeys(args.detectors)),
             backends=tuple(args.backends),
             chunk_packets=args.chunk_packets,
         )
@@ -486,7 +592,18 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
             print(f"error: {error.args[0]}")
             return 2
         keys = {cell["key"] for cell in manifest["cells"]}
-        stored = sum(1 for key in keys if key in store)
+
+        def present(key: str) -> bool:
+            # record-level check (stat + JSON, no payload hashing) so status
+            # stays O(cells), not O(store bytes); full digest verification
+            # happens where payloads are actually read (resume, report)
+            try:
+                store.record(key)
+            except KeyError:
+                return False
+            return True
+
+        stored = sum(1 for key in keys if present(key))
         rows.append(
             {
                 "campaign": name,

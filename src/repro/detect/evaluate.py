@@ -1,0 +1,222 @@
+"""Score online detectors against scenario ground truth.
+
+Scenarios know where their regime changes actually are — the
+window→phase attribution (:class:`~repro.analysis.phases.PhaseSegmentedAnalysis`)
+marks the first window of each new phase.  Detectors do not: they see only
+the window stream.  This module closes the loop: it matches each detector's
+alarm sequence to the true phase-boundary windows and reports
+
+* **detection latency** — windows between a true boundary and the alarm
+  that detected it,
+* **precision** — fraction of alarms that detected a true boundary,
+* **recall** — fraction of true boundaries that were detected,
+* **false-alarm rate** — unmatched alarms per observed window.
+
+Matching is greedy and order-preserving: alarms are walked in stream
+order, and each is credited to the earliest still-undetected boundary
+whose detection window ``[boundary, boundary + max_latency]`` contains it;
+everything else is a false alarm.  An alarm can never be credited to a
+boundary it *precedes* — detecting the future is a false alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Union
+
+import numpy as np
+
+from repro.detect.detectors import DETECTOR_NAMES
+
+if TYPE_CHECKING:  # imports only for annotations: scenarios.run imports us
+    from repro.scenarios.run import ScenarioRun
+    from repro.scenarios.scenario import Scenario
+
+__all__ = [
+    "DEFAULT_MAX_LATENCY",
+    "DetectorEvaluation",
+    "true_change_windows",
+    "match_alarms",
+    "evaluate_run",
+    "evaluate_detectors",
+]
+
+#: Default detection window: an alarm this many windows (or fewer) after a
+#: true boundary counts as detecting it.  Roughly one detector warm-up.
+DEFAULT_MAX_LATENCY = 8
+
+
+def true_change_windows(window_phase: np.ndarray) -> tuple[int, ...]:
+    """Ground-truth change points: the first window of each new phase.
+
+    *window_phase* is the per-window phase attribution in stream order
+    (:attr:`PhaseSegmentedAnalysis.window_phase`); a change at index ``k``
+    means window ``k`` is the first window attributed to a different phase
+    than window ``k − 1``.
+    """
+    window_phase = np.asarray(window_phase)
+    if window_phase.size == 0:
+        return ()
+    return tuple(int(i) for i in np.flatnonzero(np.diff(window_phase)) + 1)
+
+
+@dataclass(frozen=True)
+class DetectorEvaluation:
+    """One detector's score against one run's ground truth.
+
+    Attributes
+    ----------
+    detector:
+        Detector name.
+    n_windows:
+        Windows in the run (the denominator of the false-alarm rate).
+    boundaries:
+        True phase-boundary window indices.
+    alarms:
+        The detector's alarm window indices.
+    latencies:
+        Detection latency (windows) of each *detected* boundary, in
+        boundary order; boundaries that went undetected contribute nothing.
+    n_false:
+        Alarms not credited to any boundary.
+    max_latency:
+        The detection-window length used for matching.
+    """
+
+    detector: str
+    n_windows: int
+    boundaries: tuple[int, ...]
+    alarms: tuple[int, ...]
+    latencies: tuple[int, ...]
+    n_false: int
+    max_latency: int
+
+    @property
+    def n_detected(self) -> int:
+        """True boundaries that received an alarm within the window."""
+        return len(self.latencies)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of alarms that detected a boundary (1.0 when no alarms)."""
+        return self.n_detected / len(self.alarms) if self.alarms else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of boundaries detected (1.0 when there were none)."""
+        return self.n_detected / len(self.boundaries) if self.boundaries else 1.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Unmatched alarms per observed window."""
+        return self.n_false / self.n_windows if self.n_windows else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean detection latency in windows (``nan`` when nothing detected)."""
+        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+
+    def as_row(self) -> dict:
+        """Flat summary row for tables / the CLI."""
+        return {
+            "detector": self.detector,
+            "boundaries": len(self.boundaries),
+            "detected": self.n_detected,
+            "alarms": len(self.alarms),
+            "false": self.n_false,
+            "precision": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "false/window": round(self.false_alarm_rate, 4),
+            "latency": "-" if not self.latencies else round(self.mean_latency, 2),
+        }
+
+
+def match_alarms(
+    alarms: Sequence[int],
+    boundaries: Sequence[int],
+    *,
+    max_latency: int = DEFAULT_MAX_LATENCY,
+) -> tuple[dict[int, int], tuple[int, ...]]:
+    """Greedily match alarms to boundaries within the detection window.
+
+    Returns ``(matched, false_alarms)`` where *matched* maps each detected
+    boundary to the alarm index that detected it (the earliest alarm inside
+    ``[boundary, boundary + max_latency]``), and *false_alarms* lists the
+    unmatched alarm indices in order.
+    """
+    if max_latency < 0:
+        raise ValueError(f"max_latency must be >= 0, got {max_latency}")
+    matched: dict[int, int] = {}
+    false_alarms: list[int] = []
+    pending = [b for b in sorted(boundaries)]
+    for alarm in sorted(alarms):
+        hit = None
+        for boundary in pending:
+            if boundary <= alarm <= boundary + max_latency:
+                hit = boundary
+                break
+            if boundary > alarm:
+                break
+        if hit is None:
+            false_alarms.append(int(alarm))
+        else:
+            matched[int(hit)] = int(alarm)
+            pending.remove(hit)
+    return matched, tuple(false_alarms)
+
+
+def evaluate_run(
+    run: "ScenarioRun", *, max_latency: int = DEFAULT_MAX_LATENCY
+) -> tuple[DetectorEvaluation, ...]:
+    """Score every detector of a detecting scenario run against its truth.
+
+    *run* must have been produced with detection enabled
+    (``analyze_scenario(..., detectors=...)``); the ground truth is its own
+    window→phase attribution, which the detectors never saw.
+    """
+    if run.detection is None:
+        raise ValueError(
+            "run carries no detection result; pass detectors= to analyze_scenario"
+        )
+    boundaries = true_change_windows(run.phases.window_phase)
+    evaluations = []
+    for name in run.detection.detectors:
+        alarms = run.detection.alarms[name]
+        matched, false_alarms = match_alarms(alarms, boundaries, max_latency=max_latency)
+        latencies = tuple(matched[b] - b for b in sorted(matched))
+        evaluations.append(
+            DetectorEvaluation(
+                detector=name,
+                n_windows=run.detection.n_windows,
+                boundaries=boundaries,
+                alarms=alarms,
+                latencies=latencies,
+                n_false=len(false_alarms),
+                max_latency=int(max_latency),
+            )
+        )
+    return tuple(evaluations)
+
+
+def evaluate_detectors(
+    scenario: Union[str, "Scenario"],
+    n_valid: int,
+    *,
+    seed=0,
+    detectors: Sequence[str] = DETECTOR_NAMES,
+    quantity: str | None = None,
+    max_latency: int = DEFAULT_MAX_LATENCY,
+    **kwargs,
+) -> tuple["ScenarioRun", tuple[DetectorEvaluation, ...]]:
+    """Run one scenario with detection and score it in one call.
+
+    Thin convenience over :func:`repro.scenarios.run.analyze_scenario`
+    (to which *kwargs* — backend, chunk_packets, … — are forwarded)
+    followed by :func:`evaluate_run`.
+    """
+    from repro.scenarios.run import analyze_scenario
+
+    run = analyze_scenario(
+        scenario, n_valid, seed=seed, detectors=detectors, detect_quantity=quantity, **kwargs
+    )
+    return run, evaluate_run(run, max_latency=max_latency)

@@ -22,6 +22,7 @@ from repro._util.logging import get_logger
 from repro._util.validation import check_positive_int
 from repro.analysis.phases import PhaseSegmentedAnalysis, PhaseSegmentedAnalyzer
 from repro.analysis.pooling import pool_differential_cumulative
+from repro.detect.analyzer import DetectingAnalyzer, DetectionResult
 from repro.scenarios.scenario import Scenario, get_scenario
 from repro.scenarios.source import DEFAULT_BLOCK_PACKETS, ScenarioTraceSource, SeedLike
 from repro.streaming.aggregates import QUANTITY_NAMES
@@ -48,11 +49,16 @@ class ScenarioRun:
     phases:
         The :class:`PhaseSegmentedAnalysis`: per-phase pooled distributions
         and the adjacent-phase drift statistic.
+    detection:
+        Online drift-detection alarms
+        (:class:`~repro.detect.analyzer.DetectionResult`), present when the
+        run was produced with ``detectors=``; ``None`` otherwise.
     """
 
     scenario: Scenario
     analysis: WindowedAnalysis
     phases: PhaseSegmentedAnalysis
+    detection: DetectionResult | None = None
 
     @property
     def engine_stats(self):
@@ -71,6 +77,8 @@ def analyze_scenario(
     chunk_packets: int | None = None,
     block_packets: int = DEFAULT_BLOCK_PACKETS,
     keep_windows: bool | None = None,
+    detectors: Sequence[str] | None = None,
+    detect_quantity: str | None = None,
 ) -> ScenarioRun:
     """Generate and analyse a scenario in one bounded-memory pass.
 
@@ -91,6 +99,17 @@ def analyze_scenario(
         Internal generation block size (part of the trace's identity: the
         same scenario and seed with a different block size is a different —
         equally valid — trace realisation).
+    detectors:
+        Online drift detectors to ride the fold
+        (:data:`repro.detect.DETECTOR_NAMES` names or
+        :class:`~repro.detect.detectors.DriftDetector` instances).  The
+        returned run then carries a ``detection`` result whose alarm
+        sequences are bit-identical on every backend and invariant to
+        chunking.  ``None`` or empty (the default) skips detection
+        entirely.
+    detect_quantity:
+        Which pooled quantity the detectors monitor (default:
+        ``"source_fanout"`` when analysed, else the first of *quantities*).
 
     Returns
     -------
@@ -112,18 +131,25 @@ def analyze_scenario(
         "running scenario %r (%d phases, %d packets) via %s backend",
         scenario.name, scenario.n_phases, scenario.n_packets, backend_impl.name,
     )
+    if detect_quantity is not None and not detectors:
+        raise ValueError(
+            "detect_quantity was given but no detectors; pass detectors= to enable detection"
+        )
     analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    folder: Union[StreamAnalyzer, DetectingAnalyzer] = analyzer
+    if detectors:  # None or empty both mean "no detection"
+        folder = DetectingAnalyzer(analyzer, detectors, quantity=detect_quantity)
     # the source is always ahead of the windows cut from it, so its running
     # per-phase valid tally is complete for every index the attributor sees
     segmenter = PhaseSegmentedAnalyzer(
         n_valid, scenario.n_phases, source.phase_of_valid_index, quantities
     )
     for result in backend_impl.map(analyze_window, windower):
-        # pool each window once and hand the vectors to both folds
+        # pool each window once and hand the vectors to all folds
         pooled = {
             q: pool_differential_cumulative(result.histograms[q]) for q in analyzer.quantities
         }
-        analyzer.update(result, pooled=pooled)
+        folder.update(result, pooled=pooled)
         segmenter.update(result, pooled=pooled)
     stats = {
         "backend": backend_impl.name,
@@ -132,5 +158,8 @@ def analyze_scenario(
         "max_buffered_packets": windower.max_buffered_packets,
         "n_chunks": windower.n_chunks,
     }
-    analysis = analyzer.result(stats=stats)
-    return ScenarioRun(scenario=scenario, analysis=analysis, phases=segmenter.result())
+    analysis = folder.result(stats=stats)
+    detection = folder.detection() if isinstance(folder, DetectingAnalyzer) else None
+    return ScenarioRun(
+        scenario=scenario, analysis=analysis, phases=segmenter.result(), detection=detection
+    )

@@ -161,6 +161,91 @@ class TestResultStore:
         assert key not in store
         assert list(store.keys()) == []
 
+    def test_truncated_payload_reads_as_missing(self, tmp_path):
+        """Torn-write mutation: chop bytes off a stored payload on disk."""
+        store = ResultStore(tmp_path / "store")
+        key = "aa" + "1" * 62
+        store.put(key, {"rows": list(range(100))})
+        assert key in store
+        path = store._object_path(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        assert key not in store
+        with pytest.raises(KeyError):
+            store.get(key)
+        assert list(store.keys()) == []
+
+    def test_corrupted_payload_reads_as_missing(self, tmp_path):
+        """Same-size in-place corruption is caught by the pinned digest."""
+        store = ResultStore(tmp_path / "store")
+        key = "bb" + "1" * 62
+        store.put(key, {"rows": list(range(100))})
+        raw = bytearray(store._object_path(key).read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        store._object_path(key).write_bytes(bytes(raw))
+        assert key not in store
+        with pytest.raises(KeyError):
+            store.get(key)
+
+    def test_truncated_record_reads_as_missing(self, tmp_path):
+        """Torn-write mutation: the record side, truncated mid-JSON."""
+        store = ResultStore(tmp_path / "store")
+        key = "cc" + "1" * 62
+        store.put(key, {"x": 1})
+        record_path = store._record_path(key)
+        record_path.write_text(record_path.read_text(encoding="utf-8")[:10], encoding="utf-8")
+        assert key not in store
+        with pytest.raises(KeyError):
+            store.record(key)
+        with pytest.raises(KeyError):
+            store.get(key)
+
+    def test_undecodable_payload_with_valid_digest_is_a_miss(self, tmp_path):
+        """Bytes that match their pins but fail unpickling (e.g. written by
+        an incompatible version) must read as missing and be recomputed."""
+        import hashlib
+        import io
+
+        from repro.streaming.trace_io import write_json_atomic
+
+        store = ResultStore(tmp_path / "store")
+        key = "dd" + "1" * 62
+        store.put(key, {"x": 1})
+        buffer = io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+            handle.write(b"\x80\x05 not a pickle stream")
+        raw = buffer.getvalue()
+        store._object_path(key).write_bytes(raw)
+        write_json_atomic(
+            store._record_path(key),
+            {"key": key, "payload_bytes": len(raw),
+             "payload_sha256": hashlib.sha256(raw).hexdigest()},
+        )
+        assert key in store          # pins match: only unpickling can tell
+        with pytest.raises(KeyError):
+            store.get(key)
+        payload, cached = store.get_or_compute(key, lambda: {"fresh": True})
+        assert payload == {"fresh": True} and not cached
+        assert store.get(key) == {"fresh": True}
+
+    @pytest.mark.parametrize("mutate", ["payload", "record"])
+    def test_mutated_cell_is_recomputed_on_resume(self, tmp_path, mutate):
+        """A campaign resumed over a mutated store recomputes the damaged
+        cell (and only it) instead of crashing on it."""
+        campaign = tiny_campaign()
+        run_campaign(campaign, tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        victim = campaign.unique_keys()[0]
+        if mutate == "payload":
+            path = store._object_path(victim)
+            path.write_bytes(path.read_bytes()[: -5])
+        else:
+            store._record_path(victim).write_text("{torn", encoding="utf-8")
+        assert victim not in store
+        resumed = run_campaign(campaign, tmp_path / "store")
+        assert resumed.n_computed == 1 and resumed.complete
+        assert victim in store
+        assert store.get(victim).analysis.n_windows > 0
+
     def test_stale_temp_files_pruned_on_open(self, tmp_path):
         """Debris of a hard-killed writer is swept; fresh temp files survive."""
         import os

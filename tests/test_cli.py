@@ -201,6 +201,112 @@ class TestScenarios:
             build_parser().parse_args(["scenarios"])
 
 
+class TestDetect:
+    def test_list_prints_catalogue(self, capsys):
+        code = main(["detect", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("ewma", "cusum", "page-hinkley"):
+            assert name in out
+        assert "threshold" in out
+
+    def test_run_reports_alarms_and_scores(self, capsys):
+        code = main(
+            [
+                "detect", "run", "alpha-drift",
+                "--nv", "2000",
+                "--backend", "streaming",
+                "--chunk-packets", "9000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=streaming" in out
+        assert "true phase-boundary windows: 15 30" in out
+        assert "alarms per detector" in out
+        assert "evaluation vs ground truth" in out
+        for column in ("precision", "recall", "false/window", "latency"):
+            assert column in out
+
+    def test_run_detector_subset_and_quantity(self, capsys):
+        code = main(
+            [
+                "detect", "run", "stationary",
+                "--nv", "5000",
+                "--detectors", "cusum",
+                "--quantity", "link_packets",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monitoring 'link_packets'" in out
+        assert "none (single regime)" in out
+        assert "ewma" not in out
+
+    def test_backends_print_identical_reports(self, capsys):
+        args = ["detect", "run", "flash-crowd", "--nv", "2000", "--seed", "3"]
+        main(args)
+        serial_out = capsys.readouterr().out
+        main([*args, "--backend", "streaming", "--chunk-packets", "7000"])
+        streaming_out = capsys.readouterr().out
+        marker = "true phase-boundary windows"
+        assert serial_out.split(marker)[1] == streaming_out.split(marker)[1]
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect"])
+
+    def test_detector_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["detect", "run", "stationary", "--detectors", "bogus"])
+
+    def test_repeated_detector_names_deduped(self, capsys):
+        code = main(["detect", "run", "stationary", "--nv", "10000",
+                     "--detectors", "cusum", "cusum"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("cusum") == 2  # one alarm-table row + one eval row
+
+
+class TestFailurePaths:
+    """Unknown names and missing stores exit non-zero with a one-line
+    actionable message — never a traceback."""
+
+    @staticmethod
+    def _assert_clean_error(capsys, code, *needles):
+        assert code == 2
+        captured = capsys.readouterr()
+        out = captured.out + captured.err
+        assert "Traceback" not in out
+        [error_line] = [line for line in out.splitlines() if line.startswith("error:")]
+        for needle in needles:
+            assert needle in error_line
+
+    def test_scenarios_run_unknown_scenario(self, capsys):
+        code = main(["scenarios", "run", "no-such-scenario"])
+        self._assert_clean_error(capsys, code, "unknown scenario", "registered:")
+
+    def test_detect_run_unknown_scenario(self, capsys):
+        code = main(["detect", "run", "no-such-scenario"])
+        self._assert_clean_error(capsys, code, "unknown scenario", "registered:")
+
+    def test_detect_run_negative_max_latency(self, capsys):
+        code = main(["detect", "run", "stationary", "--max-latency", "-1"])
+        self._assert_clean_error(capsys, code, "--max-latency", ">= 0")
+
+    def test_campaign_status_missing_store(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        code = main(["campaign", "status", "--store", str(missing)])
+        self._assert_clean_error(capsys, code, "no result store", "repro campaign run")
+        assert not missing.exists()
+
+    def test_campaign_report_missing_store(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        code = main(["campaign", "report", "--store", str(missing), "anything"])
+        self._assert_clean_error(capsys, code, "no result store", "repro campaign run")
+        assert not missing.exists()
+
+
 class TestVersionFlag:
     def test_version_prints_package_version(self, capsys):
         import repro
@@ -262,6 +368,20 @@ class TestCampaign:
                      "--scenarios", "does-not-exist"])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().out
+
+    def test_detectors_axis_is_result_defining(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        base = ["campaign", "run", "--store", store, "--name", "det",
+                "--scenarios", "stationary", "--nv", "2000",
+                "--quantities", "source_fanout"]
+        code = main([*base, "--detectors", "cusum"])
+        assert code == 0
+        assert "computed 1, cached 0" in capsys.readouterr().out
+        # same grid plus detection is a different cell; without detectors it
+        # must compute anew, not warm-hit the detecting cell
+        code = main(base)
+        assert code == 0
+        assert "computed 1, cached 0" in capsys.readouterr().out
 
     def test_unknown_campaign_report_fails_cleanly(self, tmp_path, capsys):
         store = str(tmp_path / "s")

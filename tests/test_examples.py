@@ -17,6 +17,10 @@ from pathlib import Path
 
 import pytest
 
+# every example runs as a real subprocess — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
+
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 

@@ -16,6 +16,7 @@ catalogue, so they are tested over randomly drawn scenarios:
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -23,6 +24,10 @@ from repro.scenarios import Phase, Scenario, ScenarioTraceSource
 from repro.analysis.phases import PhaseSegmentedAnalyzer
 from repro.streaming.pipeline import StreamAnalyzer, analyze_window
 from repro.streaming.window import ChunkedWindower
+
+# each example generates and windows full scenario traces — deselected by `pytest -m "not slow"` (fast local loop)
+pytestmark = pytest.mark.slow
+
 
 # deliberately tiny substrates: properties are structural, not statistical
 _FAMILIES = st.sampled_from(
