@@ -11,8 +11,39 @@ micro-benchmarks use pytest-benchmark's default calibration.
 from __future__ import annotations
 
 import json
+import os
+import platform
 
+import numpy as np
 import pytest
+
+from repro.streaming.parallel import usable_cpu_count
+
+
+def machine_metadata(timing: str) -> dict:
+    """Machine/toolchain context recorded in every ``BENCH_*.json`` artifact.
+
+    The perf trajectory compares numbers committed across PRs; without the
+    CPU budget, platform, and library versions those comparisons are
+    guesswork.  *timing* documents how the harness measured (e.g.
+    ``"best-of-3 wall clock (time.perf_counter)"``) so best-of-k and
+    single-shot artifacts are never conflated.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cpus": usable_cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timing": timing,
+    }
+
+
+@pytest.fixture()
+def machine_meta():
+    """The :func:`machine_metadata` helper, injectable into artifact writers."""
+    return machine_metadata
 
 
 def attach_rows(benchmark, rows) -> None:

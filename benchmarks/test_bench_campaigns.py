@@ -81,7 +81,7 @@ def test_bench_campaign_sweep(benchmark, tmp_path, case, pool, prewarm):
     benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
 
 
-def test_bench_campaign_artifact():
+def test_bench_campaign_artifact(machine_meta):
     """Write the campaign benchmark artifact (runs after the timed cases)."""
     if not _RESULTS:
         pytest.skip("no campaign timings collected in this run")
@@ -90,6 +90,7 @@ def test_bench_campaign_artifact():
     report = {
         "benchmark": "campaign_orchestrator",
         "grid": {"scenarios": list(SCENARIOS), "seeds": list(SEEDS), "n_valid": N_VALID},
+        "machine": machine_meta("best-of-1 wall clock (time.perf_counter), rounds=1"),
         "cases": _RESULTS,
         "cold_over_warm": round(cold / warm, 2) if cold and warm else None,
     }

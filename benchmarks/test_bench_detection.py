@@ -94,7 +94,7 @@ def test_bench_detection_overhead(benchmark, scenario, backend):
     benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
 
 
-def test_bench_detection_artifact():
+def test_bench_detection_artifact(machine_meta):
     """Aggregate, assert the ≤25% overhead contract, write the artifact."""
     if not _RESULTS:
         pytest.skip("no detection timings collected in this run")
@@ -109,6 +109,7 @@ def test_bench_detection_artifact():
         "detectors": list(DETECTOR_NAMES),
         "max_overhead_ratio": MAX_OVERHEAD_RATIO,
         "overall_overhead_ratio": round(overall, 4),
+        "machine": machine_meta("best-of-1 wall clock (time.perf_counter), rounds=1"),
         "cases": _RESULTS,
     }
     ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")

@@ -76,7 +76,7 @@ def test_bench_scenarios(benchmark, scenario, backend):
     benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
 
 
-def test_bench_scenarios_artifact():
+def test_bench_scenarios_artifact(machine_meta):
     """Write the scenario benchmark artifact (runs after the timed cases)."""
     if not _RESULTS:
         pytest.skip("no scenario timings collected in this run")
@@ -85,6 +85,7 @@ def test_bench_scenarios_artifact():
         "n_valid": N_VALID,
         "chunk_packets": CHUNK_PACKETS,
         "seed": SEED,
+        "machine": machine_meta("best-of-1 wall clock (time.perf_counter), rounds=1"),
         "cases": _RESULTS,
     }
     ARTIFACT_PATH.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")

@@ -3,9 +3,19 @@
 Times :func:`repro.streaming.pipeline.analyze_trace` on the same seeded
 32-window trace under each :class:`~repro.streaming.parallel.ExecutionBackend`
 and writes a ``BENCH_streaming_engine.json`` artifact (backend → seconds,
-plus the engine's buffering statistics) so the perf trajectory of the
-engine can be tracked across PRs.  All backends must agree on the pooled
-output — the benchmark asserts bit-identity as it times.
+plus the engine's buffering statistics and the machine metadata) so the
+perf trajectory of the engine can be tracked across PRs.  All backends must
+agree on the pooled output — the benchmark asserts bit-identity as it
+times.
+
+Timing method: each backend is run ``ROUNDS`` times after one warm-up and
+the **best** wall-clock is recorded — steady-state numbers, with pool
+start-up and first-touch effects amortised the way a long-running analysis
+service would amortise them.  The process backend picks its own worker
+count (the engine caps it to the usable CPUs and degrades to in-process
+execution when there is no parallel hardware), so the recorded speedup is
+what the engine actually delivers on the machine, not what a hard-coded
+worker count costs it.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ import pytest
 from repro.experiments.config import default_palu_parameters
 from repro.generators.palu_graph import generate_palu_graph
 from repro.streaming.aggregates import QUANTITY_NAMES
+from repro.streaming.parallel import default_worker_count, shutdown_shared_pools
 from repro.streaming.pipeline import analyze_trace
 from repro.streaming.trace_generator import generate_trace
 
@@ -27,6 +38,8 @@ SEED = 20210329
 N_VALID = 3_000
 N_WINDOWS = 32
 CHUNK_PACKETS = 12_000
+ROUNDS = 3
+TIMING = f"best-of-{ROUNDS} wall clock (time.perf_counter), 1 warm-up round"
 ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming_engine.json"
 
 _RESULTS: dict[str, dict] = {}
@@ -42,18 +55,20 @@ def bench_trace():
 
 def _run(trace, backend: str):
     kwargs = {"backend": backend, "keep_windows": False}
-    if backend == "process":
-        kwargs["n_workers"] = 4
     if backend == "streaming":
         kwargs["chunk_packets"] = CHUNK_PACKETS
     return analyze_trace(trace, N_VALID, **kwargs)
 
 
 @pytest.mark.parametrize("backend", ["serial", "process", "streaming"])
-def test_bench_streaming_engine(benchmark, bench_trace, backend):
-    start = time.perf_counter()
-    analysis = benchmark.pedantic(_run, args=(bench_trace, backend), rounds=1, iterations=1)
-    elapsed = time.perf_counter() - start
+def test_bench_streaming_engine(bench_trace, backend):
+    _run(bench_trace, backend)  # warm-up: pools, caches, code paths
+    elapsed = float("inf")
+    analysis = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        analysis = _run(bench_trace, backend)
+        elapsed = min(elapsed, time.perf_counter() - start)
 
     assert analysis.n_windows == N_WINDOWS
     pooled = analysis.pooled("source_fanout")
@@ -72,20 +87,26 @@ def test_bench_streaming_engine(benchmark, bench_trace, backend):
         "engine_stats": {k: v for k, v in analysis.engine_stats.items()},
         "pooled_d1": float(pooled.values[0]),
     }
+    if backend == "process":
+        # how many workers the engine resolved to on this machine — with one
+        # usable CPU this is 1 and the run is in-process by design, so the
+        # row must say so rather than imply a multi-process measurement
+        row["resolved_workers"] = default_worker_count()
     _RESULTS[backend] = row
-    benchmark.extra_info["rows"] = [json.loads(json.dumps(row, default=str))]
 
 
-def test_bench_streaming_engine_artifact():
+def test_bench_streaming_engine_artifact(machine_meta):
     """Write the backend-comparison artifact (runs after the timed cases)."""
     if not _RESULTS:
         pytest.skip("no backend timings collected in this run")
+    shutdown_shared_pools()
     serial = _RESULTS.get("serial", {}).get("seconds")
     report = {
         "benchmark": "streaming_engine_backends",
         "n_valid": N_VALID,
         "n_windows": N_WINDOWS,
         "chunk_packets": CHUNK_PACKETS,
+        "machine": machine_meta(TIMING),
         "backends": _RESULTS,
         "speedup_vs_serial": {
             name: round(serial / row["seconds"], 3)

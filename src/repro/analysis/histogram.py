@@ -108,8 +108,14 @@ class DegreeHistogram:
     def merge(self, other: "DegreeHistogram") -> "DegreeHistogram":
         """Combine two histograms by summing counts degree-by-degree."""
         dmax = max(self.dmax, other.dmax)
-        dense = self.dense_counts(dmax) + other.dense_counts(dmax)
-        return DegreeHistogram.from_dense(dense)
+        if dmax < 1:
+            return DegreeHistogram._from_dense_trusted(np.zeros(0, dtype=np.int64))
+        # both degree vectors are unique, so direct fancy-index scatters are
+        # exact; the result is identical to summing the dense count vectors
+        dense = np.zeros(dmax, dtype=np.int64)
+        dense[self.degrees - 1] = self.counts
+        dense[other.degrees - 1] += other.counts
+        return DegreeHistogram._from_dense_trusted(dense)
 
     # -- constructors ----------------------------------------------------------
 
@@ -119,6 +125,23 @@ class DegreeHistogram:
         dense = check_integer_array(dense_counts, "dense_counts", minimum=0)
         nz = np.nonzero(dense)[0]
         return DegreeHistogram(degrees=nz + 1, counts=dense[nz])
+
+    @classmethod
+    def _from_dense_trusted(cls, dense: np.ndarray) -> "DegreeHistogram":
+        """Internal fast path over :meth:`from_dense` for kernel-produced counts.
+
+        *dense* must be a 1-D non-negative integer count vector indexed by
+        ``d-1`` (exactly what :meth:`from_dense` validates); the constructor
+        checks are skipped because re-validating every histogram dominated
+        the fused window kernel's runtime.  Produces an instance
+        attribute-identical to the validated path.
+        """
+        nz = np.flatnonzero(dense)
+        self = object.__new__(cls)
+        object.__setattr__(self, "degrees", (nz + 1).astype(np.int64, copy=False))
+        object.__setattr__(self, "counts", dense[nz].astype(np.int64, copy=False))
+        object.__setattr__(self, "_dense_cache", {})
+        return self
 
     @staticmethod
     def from_values(values: Sequence[int]) -> "DegreeHistogram":

@@ -100,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--chunk-packets", type=int, default=None,
                      help="read/cut the trace in chunks of this many packets "
                           "(bounds memory under --backend streaming)")
+    ana.add_argument("--batch-windows", type=int, default=None,
+                     help="windows moved per backend task / prefetch slot "
+                          "(default: auto; an execution knob — never changes results)")
     ana.add_argument("--panel", action="store_true",
                      help="also render a text panel of each pooled distribution")
     ana.set_defaults(func=_cmd_analyze)
@@ -149,6 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
                                "buffering bounded by --chunk-packets")
     scen_run.add_argument("--workers", type=int, default=None,
                           help="worker processes for the window map (process backend)")
+    scen_run.add_argument("--batch-windows", type=int, default=None,
+                          help="windows moved per backend task / prefetch slot (default: auto)")
     scen_run.add_argument("--chunk-packets", type=int, default=None,
                           help="emit the scenario trace in chunks of this many packets "
                                "(bounds memory under --backend streaming)")
@@ -292,6 +297,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             quantities=tuple(args.quantities),
             backend="streaming",
             chunk_packets=args.chunk_packets,
+            batch_windows=args.batch_windows,
         )
         stats = analysis.engine_stats
         print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
@@ -306,6 +312,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             n_workers=args.workers,
             backend=args.backend,
             chunk_packets=args.chunk_packets,
+            batch_windows=args.batch_windows,
         )
     print(f"{analysis.n_windows} windows of N_V = {args.nv} valid packets\n")
     print("Table-I aggregates per window:")
@@ -448,6 +455,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_workers=args.workers,
         chunk_packets=args.chunk_packets,
+        batch_windows=args.batch_windows,
     )
     stats = run.engine_stats
     print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "

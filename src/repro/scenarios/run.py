@@ -27,7 +27,7 @@ from repro.scenarios.scenario import Scenario, get_scenario
 from repro.scenarios.source import DEFAULT_BLOCK_PACKETS, ScenarioTraceSource, SeedLike
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import ExecutionBackend, get_backend
-from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, analyze_window
+from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, iter_window_results
 from repro.streaming.window import ChunkedWindower
 
 __all__ = ["ScenarioRun", "analyze_scenario"]
@@ -77,6 +77,7 @@ def analyze_scenario(
     chunk_packets: int | None = None,
     block_packets: int = DEFAULT_BLOCK_PACKETS,
     keep_windows: bool | None = None,
+    batch_windows: int | None = None,
     detectors: Sequence[str] | None = None,
     detect_quantity: str | None = None,
 ) -> ScenarioRun:
@@ -91,10 +92,12 @@ def analyze_scenario(
     seed:
         Scenario seed; the same seed reproduces the identical trace (and
         therefore identical analysis) on every backend and chunking.
-    quantities, backend, n_workers, chunk_packets, keep_windows:
+    quantities, backend, n_workers, chunk_packets, keep_windows, batch_windows:
         As in :func:`repro.streaming.pipeline.analyze_trace`.  Under
         ``backend="streaming"`` the default ``chunk_packets`` falls back to
-        ``block_packets`` so buffering is always bounded.
+        ``block_packets`` so buffering is always bounded.  Window batching
+        (``batch_windows``) moves whole window batches per backend task —
+        purely an execution knob, never part of the result's identity.
     block_packets:
         Internal generation block size (part of the trace's identity: the
         same scenario and seed with a different block size is a different —
@@ -144,11 +147,16 @@ def analyze_scenario(
     segmenter = PhaseSegmentedAnalyzer(
         n_valid, scenario.n_phases, source.phase_of_valid_index, quantities
     )
-    for result in backend_impl.map(analyze_window, windower):
-        # pool each window once and hand the vectors to all folds
-        pooled = {
-            q: pool_differential_cumulative(result.histograms[q]) for q in analyzer.quantities
-        }
+    pairs = iter_window_results(
+        backend_impl, windower, batch_windows=batch_windows, quantities=analyzer.quantities
+    )
+    for result, pooled in pairs:
+        if pooled is None:
+            # pool each window once and hand the vectors to all folds (the
+            # batched process backend ships the vectors pre-pooled instead)
+            pooled = {
+                q: pool_differential_cumulative(result.histograms[q]) for q in analyzer.quantities
+            }
         folder.update(result, pooled=pooled)
         segmenter.update(result, pooled=pooled)
     stats = {

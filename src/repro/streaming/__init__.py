@@ -10,9 +10,12 @@ subpackage provides a laptop-scale replacement for that pipeline:
 * :mod:`repro.streaming.trace_generator` — synthetic traffic streams replayed
   from an underlying (PALU) network,
 * :mod:`repro.streaming.window` — fixed-``N_V`` windowing,
-* :mod:`repro.streaming.sparse_image` — the sparse matrix ``A_t``,
+* :mod:`repro.streaming.sparse_image` — the sparse matrix ``A_t``
+  (compatibility view; the hot path no longer builds it),
 * :mod:`repro.streaming.aggregates` — Table-I aggregates and Figure-1
-  per-node/per-link quantities,
+  per-node/per-link quantities computed from the matrix,
+* :mod:`repro.streaming.kernel` — the fused sort-based window kernel that
+  computes all of the above in one pass over packed ``(src, dst)`` keys,
 * :mod:`repro.streaming.pipeline` — the single-pass analysis engine:
   trace → windows → histograms → running pooled distributions, executed on a
   pluggable backend (:mod:`repro.streaming.parallel` — serial, process pool,
@@ -26,19 +29,32 @@ from repro.streaming.aggregates import (
     network_quantities,
 )
 from repro.streaming.packet import PACKET_DTYPE, PacketTrace, concatenate_traces
+from repro.streaming.kernel import KERNEL_MAX_ID, fused_products, image_products, window_payload
 from repro.streaming.parallel import (
     BACKEND_NAMES,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     StreamingBackend,
+    default_worker_count,
     get_backend,
     map_windows,
+    shutdown_shared_pools,
+    usable_cpu_count,
 )
-from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, analyze_trace, analyze_windows
+from repro.streaming.pipeline import (
+    StreamAnalyzer,
+    WindowedAnalysis,
+    analyze_trace,
+    analyze_window,
+    analyze_window_image,
+    analyze_windows,
+    default_batch_windows,
+)
 from repro.streaming.sparse_image import TrafficImage, traffic_image
 from repro.streaming.trace_generator import TraceConfig, generate_trace, generate_trace_from_graph
 from repro.streaming.trace_io import (
+    ANALYSIS_COLUMNS,
     iter_trace_chunks,
     load_trace,
     rechunk,
@@ -72,12 +88,23 @@ __all__ = [
     "StreamAnalyzer",
     "WindowedAnalysis",
     "analyze_trace",
+    "analyze_window",
+    "analyze_window_image",
     "analyze_windows",
+    "default_batch_windows",
+    "default_worker_count",
+    "usable_cpu_count",
+    "shutdown_shared_pools",
+    "KERNEL_MAX_ID",
+    "fused_products",
+    "image_products",
+    "window_payload",
     "TrafficImage",
     "traffic_image",
     "TraceConfig",
     "generate_trace",
     "generate_trace_from_graph",
+    "ANALYSIS_COLUMNS",
     "iter_trace_chunks",
     "load_trace",
     "rechunk",

@@ -17,6 +17,12 @@ implemented — the matrix form with sparse linear algebra, the summation form
 with explicit reductions — and the test-suite checks they agree, which is
 exactly the consistency the paper's table is asserting.
 
+The engine's hot path no longer routes through this module: the fused
+kernel (:mod:`repro.streaming.kernel`) produces the same aggregates and
+histograms in one sorted pass without building ``A_t``.  The matrix
+implementations here remain the authoritative, paper-shaped definitions and
+serve as the kernel's cross-check oracle.
+
 Figure 1's per-entity quantities are computed by :func:`network_quantities`:
 
 * ``source_packets`` — packets sent by each distinct source (row sums),

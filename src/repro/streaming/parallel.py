@@ -9,14 +9,19 @@ swapped beneath a stable analysis API:
 
 * :class:`SerialBackend` — in-process, lazy, deterministic; the default and
   the debugging baseline.
-* :class:`ProcessBackend` — a ``multiprocessing`` pool driven through
-  ``imap`` so results stream back in window order as they complete instead
-  of barriering behind a single ``map`` call; the chunksize is derived
-  automatically from the workload (:func:`default_chunksize`).
+* :class:`ProcessBackend` — a warm, process-wide ``multiprocessing`` pool
+  driven through ``imap`` so results stream back in window order as they
+  complete instead of barriering behind a single ``map`` call.  Items are
+  whatever the caller maps — the single-pass engine maps *batches* of
+  window payloads, so one task carries many windows — and the ``imap``
+  chunksize is derived from the item (batch) count
+  (:func:`default_chunksize`).  The pool outlives individual maps
+  (:func:`shared_pool`), so repeated analyses stop paying worker start-up.
 * :class:`StreamingBackend` — bounded-memory single-pass execution that
   overlaps window production (I/O, decompression, windowing) with analysis
   through a fixed-depth prefetch queue fed by a background thread; at most
-  ``prefetch`` windows exist at any moment.
+  ``prefetch`` items (windows, or window batches when the engine batches)
+  exist in the queue at any moment.
 
 All three yield results **in window order**, which is what lets the
 incremental consumer (:class:`repro.streaming.pipeline.StreamAnalyzer`) fold
@@ -28,6 +33,7 @@ wrapper over the serial/process backends.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import queue
@@ -45,8 +51,11 @@ __all__ = [
     "BACKEND_NAMES",
     "get_backend",
     "map_windows",
+    "usable_cpu_count",
     "default_worker_count",
     "default_chunksize",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]
 
 _T = TypeVar("_T")
@@ -57,21 +66,100 @@ _logger = get_logger("streaming.parallel")
 BACKEND_NAMES = ("serial", "process", "streaming")
 
 
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    Respects the scheduler affinity mask (container / cgroup CPU limits)
+    where the platform exposes it, falling back to the raw CPU count.  This
+    is the honest parallelism budget: spawning workers beyond it turns the
+    process backend into pure overhead.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def default_worker_count(*, reserve: int = 2, maximum: int = 16) -> int:
-    """A sensible worker count: CPU count minus *reserve*, capped at *maximum*."""
-    cpus = os.cpu_count() or 1
+    """A sensible worker count: usable CPUs minus *reserve*, capped at *maximum*.
+
+    On machines with few usable CPUs this degrades to 1, which
+    :meth:`ProcessBackend.map` treats as serial in-process execution — the
+    right call when there is no parallel hardware to occupy.
+    """
+    cpus = usable_cpu_count()
     return max(1, min(cpus - reserve, maximum))
 
 
 def default_chunksize(n_items: int, n_workers: int) -> int:
-    """Windows handed to a worker per task: ``max(1, n // (4·workers))``.
+    """Items handed to a worker per ``imap`` task: ``max(1, n // (4·workers))``.
 
-    Four tasks per worker amortises pickling overhead while still letting
-    the pool balance uneven window costs.
+    Four tasks per worker amortises dispatch overhead while still letting
+    the pool balance uneven costs.  The engine maps *batches* of windows,
+    so ``n_items`` is the batch count and the heuristic no longer
+    over-chunks small workloads: a batched workload sized to ~4 tasks per
+    worker resolves to chunksize 1, i.e. the batch itself is the unit of
+    work-stealing.
     """
     if n_workers <= 0:
         raise ValueError("n_workers must be >= 1")
     return max(1, n_items // (4 * n_workers))
+
+
+# -- warm shared pools --------------------------------------------------------
+
+_POOLS: dict = {}
+_POOLS_LOCK = threading.Lock()
+_POOLS_ATEXIT_REGISTERED = False
+
+
+def _start_method() -> str:
+    # prefer fork where available: it avoids re-importing the scientific
+    # stack in every worker, which dominates for second-scale workloads
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def shared_pool(n_workers: int):
+    """The process-wide worker pool for *n_workers*, started on first use.
+
+    Pools are cached per worker count and reused across maps, so a campaign
+    of many analyses pays worker start-up once instead of per call.  All
+    cached pools are terminated at interpreter exit (or explicitly via
+    :func:`shutdown_shared_pools`).
+    """
+    global _POOLS_ATEXIT_REGISTERED
+    n_workers = check_positive_int(n_workers, "n_workers")
+    key = (_start_method(), n_workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            _logger.debug("starting shared %s pool with %d workers", *key)
+            pool = multiprocessing.get_context(key[0]).Pool(processes=n_workers)
+            _POOLS[key] = pool
+            if not _POOLS_ATEXIT_REGISTERED:
+                atexit.register(shutdown_shared_pools)
+                _POOLS_ATEXIT_REGISTERED = True
+    return pool
+
+
+def _discard_shared_pool(n_workers: int) -> None:
+    """Terminate and forget one cached pool (its state is no longer trusted)."""
+    key = (_start_method(), n_workers)
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(key, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_shared_pools() -> None:
+    """Terminate every cached shared pool (idempotent; re-use restarts them)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
 
 
 @runtime_checkable
@@ -106,10 +194,15 @@ class ProcessBackend:
     """Worker-pool execution streaming results back through ``imap``.
 
     The input iterable is materialized (the pool needs to pickle tasks out
-    ahead of results coming back), so memory is O(windows); use
+    ahead of results coming back), so memory is O(items); use
     :class:`StreamingBackend` when the trace does not fit.  Results still
-    stream back one at a time, so downstream folding overlaps with worker
-    compute instead of waiting on a ``pool.map`` barrier.
+    stream back one task at a time, so downstream folding overlaps with
+    worker compute instead of waiting on a ``pool.map`` barrier.
+
+    Maps run on the warm :func:`shared_pool` for the backend's worker
+    count: the workers persist across calls, so only the first map pays
+    pool start-up.  A map that raises discards the shared pool (worker
+    state is no longer trusted); the next map starts a fresh one.
     """
 
     name = "process"
@@ -118,33 +211,55 @@ class ProcessBackend:
         self.n_workers = default_worker_count() if n_workers is None else check_positive_int(n_workers, "n_workers")
         self.chunksize = None if chunksize is None else check_positive_int(chunksize, "chunksize")
 
+    def effective_workers(self, n_items: int) -> int:
+        """Workers a map over *n_items* would actually occupy (1 = serial)."""
+        return max(0, min(self.n_workers, n_items))
+
+    def downgraded(self, n_items: int) -> bool:
+        """Whether a map over *n_items* degrades to serial execution.
+
+        The one place the downgrade decision is made and logged — both
+        :meth:`map` and the engine's batched payload path consult it, so
+        the policy and its log line cannot drift apart.
+        """
+        if self.effective_workers(n_items) > 1:
+            return False
+        if self.n_workers > 1 and n_items:
+            _logger.info(
+                "downgrading to serial execution: %d task(s) cannot occupy %d workers",
+                n_items, self.n_workers,
+            )
+        return True
+
     def map(self, func: Callable[[_T], _R], items: Iterable[_T]) -> Iterator[_R]:
         """Apply *func* across the pool, yielding results in input order."""
         item_list: Sequence[_T] = items if isinstance(items, Sequence) else list(items)
         if not item_list:
             return iter(())
-        n_workers = min(self.n_workers, len(item_list))
-        if n_workers <= 1:
-            if self.n_workers > 1:
-                _logger.info(
-                    "downgrading to serial execution: %d window(s) cannot occupy %d workers",
-                    len(item_list), self.n_workers,
-                )
+        if self.downgraded(len(item_list)):
             return SerialBackend().map(func, item_list)
+        n_workers = self.effective_workers(len(item_list))
         chunksize = self.chunksize or default_chunksize(len(item_list), n_workers)
         _logger.debug(
-            "mapping %d windows across %d workers (chunksize %d)", len(item_list), n_workers, chunksize
+            "mapping %d tasks across %d workers (chunksize %d)", len(item_list), n_workers, chunksize
         )
         return self._imap(func, item_list, n_workers, chunksize)
 
     @staticmethod
     def _imap(func, item_list, n_workers, chunksize) -> Iterator:
-        # prefer fork where available: it avoids re-importing the scientific
-        # stack in every worker, which dominates for second-scale workloads
-        method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        ctx = multiprocessing.get_context(method)
-        with ctx.Pool(processes=n_workers) as pool:
+        pool = shared_pool(n_workers)
+        try:
             yield from pool.imap(func, item_list, chunksize=chunksize)
+        except GeneratorExit:
+            # the consumer abandoned the iteration — no worker failed; the
+            # pool is healthy and in-flight tasks simply drain in the
+            # background, so keep it warm
+            raise
+        except BaseException:
+            # a failed map leaves in-flight tasks of unknown state behind;
+            # drop the pool so the next map starts clean
+            _discard_shared_pool(n_workers)
+            raise
 
 
 class _PrefetchFailure:

@@ -20,11 +20,12 @@ analyse an on-disk trace far larger than memory
 
 from __future__ import annotations
 
+import functools
 import itertools
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,20 +35,29 @@ from repro.analysis.histogram import DegreeHistogram
 from repro.analysis.moments import StreamingMoments
 from repro.analysis.pooling import PooledDistribution, pool_differential_cumulative
 from repro.core.zm_fit import ZMFitResult, fit_zipf_mandelbrot
+import repro.streaming.kernel as _kernel
 from repro.streaming.aggregates import QUANTITY_NAMES, AggregateProperties, compute_aggregates, quantity_histograms
 from repro.streaming.packet import PacketTrace
-from repro.streaming.parallel import ExecutionBackend, get_backend
+from repro.streaming.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    StreamingBackend,
+    get_backend,
+)
 from repro.streaming.sparse_image import traffic_image
-from repro.streaming.trace_io import iter_trace_chunks, rechunk
-from repro.streaming.window import ChunkedWindower, iter_windows
+from repro.streaming.trace_io import ANALYSIS_COLUMNS, iter_trace_chunks, rechunk
+from repro.streaming.window import ChunkedWindower, iter_batches, iter_windows
 
 __all__ = [
     "WindowResult",
     "WindowedAnalysis",
     "StreamAnalyzer",
     "analyze_window",
+    "analyze_window_image",
     "analyze_windows",
     "analyze_trace",
+    "default_batch_windows",
+    "iter_window_results",
 ]
 
 _logger = get_logger("streaming.pipeline")
@@ -278,7 +288,13 @@ class StreamAnalyzer:
         self.quantities = tuple(quantities)
         self._moments = {q: StreamingMoments() for q in self.quantities}
         self._totals = {q: 0 for q in self.quantities}
-        self._merged: dict[str, DegreeHistogram | None] = {q: None for q in self.quantities}
+        # merged histograms are folded as growing dense count buffers: one
+        # int64 scatter-add per window instead of a DegreeHistogram
+        # re-validation per merge — integer sums, so the final histogram is
+        # identical to chained DegreeHistogram.merge calls
+        self._merged_dense: dict[str, np.ndarray] = {
+            q: np.zeros(0, dtype=np.int64) for q in self.quantities
+        }
         self._aggregates: list[AggregateProperties] | None = [] if keep_aggregates else None
         self._windows: list[WindowResult] | None = [] if keep_windows else None
         self._n_windows = 0
@@ -313,8 +329,14 @@ class StreamAnalyzer:
             )
             self._moments[quantity].update(window_pooled.values)
             self._totals[quantity] += window_pooled.total
-            merged = self._merged[quantity]
-            self._merged[quantity] = histogram if merged is None else merged.merge(histogram)
+            dense = self._merged_dense[quantity]
+            if histogram.dmax > dense.size:
+                grown = np.zeros(histogram.dmax, dtype=np.int64)
+                grown[: dense.size] = dense
+                dense = self._merged_dense[quantity] = grown
+            if histogram.degrees.size:
+                # degrees are unique, so the fancy scatter-add is exact
+                dense[histogram.degrees - 1] += histogram.counts
         if self._windows is not None:
             self._windows.append(result)
 
@@ -329,6 +351,10 @@ class StreamAnalyzer:
             total=self._totals[quantity],
         )
 
+    def merged_histogram(self, quantity: str) -> DegreeHistogram:
+        """Current counts of one quantity summed over the folded windows."""
+        return DegreeHistogram._from_dense_trusted(self._merged_dense[quantity])
+
     def result(self, *, stats: Mapping[str, object] | None = None) -> WindowedAnalysis:
         """Finalize into a :class:`WindowedAnalysis` (raises if no windows)."""
         if self.n_windows == 0:
@@ -336,7 +362,7 @@ class StreamAnalyzer:
         state = _StreamState(
             n_windows=self.n_windows,
             pooled={q: self.pooled(q) for q in self.quantities},
-            merged={q: self._merged[q] for q in self.quantities},
+            merged={q: self.merged_histogram(q) for q in self.quantities},
             aggregate_rows=tuple(self._aggregates or ()),
             stats=dict(stats or {}),
         )
@@ -349,12 +375,163 @@ class StreamAnalyzer:
 
 
 def analyze_window(window: PacketTrace) -> WindowResult:
-    """Analyse a single window: build ``A_t``, aggregates, and histograms."""
+    """Analyse a single window via the fused sort-based kernel.
+
+    Computes the Table-I aggregates and all five Figure-1 histograms in one
+    sorted pass over packed ``(src << 32) | dst`` keys
+    (:func:`repro.streaming.kernel.fused_products`) — the sparse ``A_t``
+    matrix is no longer built here.  Windows whose endpoint ids exceed the
+    packable range fall back to the matrix route transparently; results are
+    byte-identical either way (see :func:`analyze_window_image`).
+    """
+    aggregates, histograms = _kernel.window_products(window)
+    return WindowResult(aggregates=aggregates, histograms=histograms)
+
+
+def analyze_window_image(window: PacketTrace) -> WindowResult:
+    """Analyse a single window through the sparse ``A_t`` matrix (the oracle).
+
+    The pre-kernel implementation, kept as an independently-coded
+    cross-check: ``tests/test_streaming_kernel.py`` pins
+    ``analyze_window(w) == analyze_window_image(w)`` exactly.  Use it when
+    you want the :class:`~repro.streaming.sparse_image.TrafficImage`
+    compatibility view of the computation.
+    """
     image = traffic_image(window)
     return WindowResult(
         aggregates=compute_aggregates(image),
         histograms=quantity_histograms(image),
     )
+
+
+#: Result pair moved through the engine: the window's products plus its
+#: per-quantity pooled vectors when a worker already computed them (the
+#: batched process backend pools in the worker; other paths pool at fold
+#: time, so the second element is ``None``).
+_ResultPair = Tuple[WindowResult, Optional[Mapping[str, PooledDistribution]]]
+
+#: Windows grouped into one streaming-backend queue slot by default.
+STREAM_BATCH_WINDOWS = 4
+
+#: Upper bound on windows per process-backend task (keeps payloads modest).
+MAX_BATCH_WINDOWS = 64
+
+#: Target worker tasks per worker for the batched process backend.
+_TASKS_PER_WORKER = 4
+
+
+def default_batch_windows(n_windows: int, n_workers: int) -> int:
+    """Windows packed into one process-backend task.
+
+    Sized so the workload splits into ~``4 × n_workers`` tasks (enough for
+    the pool to balance uneven window costs), capped at
+    :data:`MAX_BATCH_WINDOWS` so a single task's payload stays modest.
+    """
+    n_windows = check_positive_int(n_windows, "n_windows")
+    n_workers = check_positive_int(n_workers, "n_workers")
+    ideal = -(-n_windows // (_TASKS_PER_WORKER * n_workers))
+    return max(1, min(ideal, MAX_BATCH_WINDOWS))
+
+
+def _analyze_payload_batch(
+    batch: Tuple[_kernel.WindowPayload, ...],
+    quantities: Sequence[str] = QUANTITY_NAMES,
+) -> Tuple[_ResultPair, ...]:
+    """Worker task of the batched process backend.
+
+    Analyses a batch of shipped window payloads and pools the requested
+    *quantities* while still in the worker, so the parent's fold is a pure
+    accumulate.  The returned pairs are compact: four aggregate integers,
+    five small (degrees, counts) histogram arrays, and one
+    ~``log2(N_V)``-bin pooled vector per pooled quantity per window.
+    """
+    pairs = []
+    for payload in batch:
+        aggregates, histograms = _kernel.payload_products(payload)
+        result = WindowResult(aggregates=aggregates, histograms=histograms)
+        pooled = {q: pool_differential_cumulative(histograms[q]) for q in quantities}
+        pairs.append((result, pooled))
+    return tuple(pairs)
+
+
+def _analyze_window_batch(batch: Tuple[PacketTrace, ...]) -> Tuple[WindowResult, ...]:
+    """In-process batch analysis (one streaming-backend queue slot)."""
+    return tuple(analyze_window(window) for window in batch)
+
+
+def iter_window_results(
+    backend_impl: ExecutionBackend,
+    windows: Iterable[PacketTrace],
+    *,
+    batch_windows: int | None = None,
+    quantities: Sequence[str] = QUANTITY_NAMES,
+) -> Iterator[_ResultPair]:
+    """Map windows through a backend, yielding ``(result, pooled)`` in order.
+
+    The batching strategy is chosen per backend:
+
+    * **process** — windows are packed into raw-column payloads
+      (:func:`repro.streaming.kernel.window_payload`) and shipped in batches
+      of *batch_windows* (default :func:`default_batch_windows`), one batch
+      per task; workers return results *and* the pooled vectors of
+      *quantities*, so per-window pickle traffic and task count both drop
+      by ~an order of magnitude versus mapping whole :class:`PacketTrace`
+      windows one at a time.
+      When the backend cannot occupy more than one worker the map degrades
+      to the serial path (identical code, no payload round-trip).
+    * **streaming** — windows move through the prefetch queue in batches of
+      *batch_windows* (default :data:`STREAM_BATCH_WINDOWS`), cutting
+      per-window queue synchronisation; at most ``(prefetch + 1) × batch``
+      windows are buffered.
+    * **serial / custom** — the plain in-order map, no batching overhead.
+
+    Every strategy yields results in window order, so the downstream fold —
+    and therefore the pooled output — is bit-identical across all of them.
+    """
+    if batch_windows is not None:
+        batch_windows = check_positive_int(batch_windows, "batch_windows")
+    if isinstance(backend_impl, ProcessBackend):
+        if backend_impl.n_workers <= 1:
+            # nothing to parallelise: stay lazy and in-process, identical to
+            # the serial backend (no payload packing, one window at a time)
+            _logger.debug("process backend has a single worker; analysing in-process")
+            for window in windows:
+                yield analyze_window(window), None
+            return
+        # pack each window as it streams past — one window alive at a time,
+        # so peak memory is the column payloads, never payloads + records;
+        # the packing (contiguous column extraction) is the same work the
+        # kernel's valid_columns would do, so nothing is paid twice
+        payloads = [_kernel.window_payload(w) for w in windows]
+        n = len(payloads)
+        if backend_impl.downgraded(n):  # n <= 1: cannot occupy a second worker
+            _logger.debug("process backend cannot parallelise %d window(s); analysing in-process", n)
+            for payload in payloads:
+                aggregates, histograms = _kernel.payload_products(payload)
+                yield WindowResult(aggregates=aggregates, histograms=histograms), None
+            return
+        batch = batch_windows or default_batch_windows(n, backend_impl.n_workers)
+        # an oversized explicit batch must not starve the pool below one
+        # task per worker
+        batch = min(batch, max(1, -(-n // backend_impl.n_workers)))
+        batches = list(iter_batches(payloads, batch))
+        _logger.debug(
+            "process backend: %d windows -> %d batched tasks of <= %d windows",
+            n, len(batches), batch,
+        )
+        task = functools.partial(_analyze_payload_batch, quantities=tuple(quantities))
+        for pair_batch in backend_impl.map(task, batches):
+            yield from pair_batch
+        return
+    if isinstance(backend_impl, StreamingBackend):
+        batch = batch_windows or STREAM_BATCH_WINDOWS
+        _logger.debug("streaming backend: prefetching window batches of %d", batch)
+        for result_batch in backend_impl.map(_analyze_window_batch, iter_batches(windows, batch)):
+            for result in result_batch:
+                yield result, None
+        return
+    for result in backend_impl.map(analyze_window, windows):
+        yield result, None
 
 
 def analyze_windows(
@@ -365,12 +542,16 @@ def analyze_windows(
     n_workers: int | None = None,
     backend: Union[str, ExecutionBackend, None] = None,
     keep_windows: bool = True,
+    batch_windows: int | None = None,
 ) -> WindowedAnalysis:
     """Analyse pre-cut windows (used directly by the parallel benchmarks)."""
     backend_impl = get_backend(backend, n_workers=n_workers)
     analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
-    for result in backend_impl.map(analyze_window, windows):
-        analyzer.update(result)
+    pairs = iter_window_results(
+        backend_impl, windows, batch_windows=batch_windows, quantities=analyzer.quantities
+    )
+    for result, pooled in pairs:
+        analyzer.update(result, pooled=pooled)
     return analyzer.result(stats={"backend": backend_impl.name})
 
 
@@ -384,6 +565,7 @@ def analyze_trace(
     backend: Union[str, ExecutionBackend, None] = None,
     chunk_packets: int | None = None,
     keep_windows: bool | None = None,
+    batch_windows: int | None = None,
 ) -> WindowedAnalysis:
     """Window a trace and analyse every complete ``N_V`` window in one pass.
 
@@ -418,6 +600,11 @@ def analyze_trace(
         Retain per-window :class:`WindowResult`\\ s on the returned analysis.
         Defaults to ``True`` except under the streaming backend, whose point
         is not to.
+    batch_windows:
+        Windows moved per backend task / prefetch slot; ``None`` picks a
+        per-backend default (:func:`default_batch_windows` for the process
+        backend, :data:`STREAM_BATCH_WINDOWS` for streaming).  Batching
+        never changes results — only how they move.
 
     Returns
     -------
@@ -430,7 +617,9 @@ def analyze_trace(
 
     windower: ChunkedWindower | None = None
     if isinstance(trace, (str, os.PathLike, Path)):
-        windower = ChunkedWindower(iter_trace_chunks(trace, chunk_packets), n_valid)
+        # the analysis never reads time/size, so skip decoding those columns
+        chunks = iter_trace_chunks(trace, chunk_packets, columns=ANALYSIS_COLUMNS)
+        windower = ChunkedWindower(chunks, n_valid)
         windows: Iterator[PacketTrace] = iter(windower)
     elif isinstance(trace, PacketTrace):
         if chunk_packets is not None:
@@ -453,8 +642,11 @@ def analyze_trace(
 
     _logger.debug("analysing windows of %d valid packets via %s backend", n_valid, backend_impl.name)
     analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
-    for result in backend_impl.map(analyze_window, windows):
-        analyzer.update(result)
+    pairs = iter_window_results(
+        backend_impl, windows, batch_windows=batch_windows, quantities=analyzer.quantities
+    )
+    for result, pooled in pairs:
+        analyzer.update(result, pooled=pooled)
     stats: dict[str, object] = {"backend": backend_impl.name}
     if windower is not None:
         # read after the fold so the high-water mark covers the whole pass

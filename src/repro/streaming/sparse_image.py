@@ -94,20 +94,21 @@ def traffic_image(window: PacketTrace) -> TrafficImage:
     distinct source/destination identifiers of the window.
     """
     valid = window.packets[window.packets["valid"]]
+    if valid.size == 0:
+        # early exit: no ids to compact, and the (0, 0) shape must stay
+        # consistent with the (empty) id arrays
+        return TrafficImage(
+            matrix=sparse.csr_matrix((0, 0), dtype=np.int64),
+            source_ids=np.zeros(0, dtype=np.int64),
+            destination_ids=np.zeros(0, dtype=np.int64),
+        )
     src = valid["src"]
     dst = valid["dst"]
     source_ids, src_idx = np.unique(src, return_inverse=True)
     destination_ids, dst_idx = np.unique(dst, return_inverse=True)
-    n_rows = int(source_ids.size)
-    n_cols = int(destination_ids.size)
-    if valid.size == 0:
-        matrix = sparse.csr_matrix((0, 0), dtype=np.int64)
-        return TrafficImage(
-            matrix=matrix,
-            source_ids=np.zeros(0, dtype=np.int64),
-            destination_ids=np.zeros(0, dtype=np.int64),
-        )
     data = np.ones(valid.size, dtype=np.int64)
-    matrix = sparse.coo_matrix((data, (src_idx, dst_idx)), shape=(n_rows, n_cols)).tocsr()
+    matrix = sparse.coo_matrix(
+        (data, (src_idx, dst_idx)), shape=(source_ids.size, destination_ids.size)
+    ).tocsr()
     matrix.sum_duplicates()
     return TrafficImage(matrix=matrix, source_ids=source_ids, destination_ids=destination_ids)

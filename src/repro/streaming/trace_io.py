@@ -40,6 +40,7 @@ __all__ = [
     "trace_format",
     "read_json",
     "write_json_atomic",
+    "ANALYSIS_COLUMNS",
 ]
 
 
@@ -83,6 +84,12 @@ DEFAULT_SHARD_PACKETS = 250_000
 
 _COLUMNS = ("src", "dst", "time", "size", "valid")
 
+#: The columns the window-analysis engine actually reads.  Passing these as
+#: ``iter_trace_chunks(..., columns=ANALYSIS_COLUMNS)`` skips decompressing
+#: the ``time``/``size`` archive members entirely — a large share of the
+#: stored bytes — which is what the analysis read path does.
+ANALYSIS_COLUMNS = ("src", "dst", "valid")
+
 
 def save_trace(trace: PacketTrace, path: Union[str, os.PathLike]) -> Path:
     """Write *trace* to a compressed v1 ``.npz`` archive and return the path."""
@@ -97,11 +104,20 @@ def save_trace(trace: PacketTrace, path: Union[str, os.PathLike]) -> Path:
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def _records_from_archive(archive) -> np.ndarray:
-    """Rebuild a packet record array from the named columns of one archive."""
+def _records_from_archive(archive, columns=None) -> np.ndarray:
+    """Rebuild a packet record array from the named columns of one archive.
+
+    When *columns* restricts the read, the omitted columns are left
+    zero-filled and their archive members are never decompressed — callers
+    opting in (the analysis engine) promise not to read them.
+    """
+    wanted = _COLUMNS if columns is None else tuple(columns)
+    unknown = set(wanted) - set(_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown trace columns {sorted(unknown)}; valid: {_COLUMNS}")
     n = archive["src"].size
-    records = np.empty(n, dtype=PACKET_DTYPE)
-    for column in _COLUMNS:
+    records = np.empty(n, dtype=PACKET_DTYPE) if columns is None else np.zeros(n, dtype=PACKET_DTYPE)
+    for column in wanted:
         records[column] = archive[column]
     return records
 
@@ -178,6 +194,15 @@ def save_trace_sharded(
     return path
 
 
+def _load_v1_records(path: Path, columns: tuple | None = None) -> np.ndarray:
+    """Read one v1 ``.npz`` archive into a packet record array (version-checked)."""
+    with np.load(path) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        return _records_from_archive(archive, columns)
+
+
 def load_trace(path: Union[str, os.PathLike]) -> PacketTrace:
     """Load a trace written by :func:`save_trace` or :func:`save_trace_sharded`."""
     path = Path(path)
@@ -186,17 +211,14 @@ def load_trace(path: Union[str, os.PathLike]) -> PacketTrace:
         if not chunks:
             return PacketTrace.empty()
         return PacketTrace(np.concatenate([c.packets for c in chunks]))
-    with np.load(path) as archive:
-        version = int(archive["version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version}")
-        records = _records_from_archive(archive)
-    return PacketTrace(records)
+    return PacketTrace(_load_v1_records(path))
 
 
 def iter_trace_chunks(
     path: Union[str, os.PathLike],
     chunk_packets: int | None = None,
+    *,
+    columns: tuple | None = None,
 ) -> Iterator[PacketTrace]:
     """Stream a stored trace as consecutive :class:`PacketTrace` chunks.
 
@@ -208,26 +230,31 @@ def iter_trace_chunks(
     ``chunk_packets`` re-cuts the stored shards to a chosen chunk size
     (splitting and coalescing across shard boundaries as needed); by default
     the stored shard boundaries are used as-is.
+
+    ``columns`` restricts which packet columns are decoded (e.g.
+    :data:`ANALYSIS_COLUMNS`); the rest read as zeros and their compressed
+    archive members are skipped entirely.  Only opt in when downstream code
+    never reads the omitted columns.
     """
     path = Path(path)
     if chunk_packets is not None:
         chunk_packets = check_positive_int(chunk_packets, "chunk_packets")
     if trace_format(path) == _SHARDED_VERSION:
-        chunks = _iter_shards(path)
+        chunks = _iter_shards(path, columns)
         if chunk_packets is not None:
             chunks = rechunk(chunks, chunk_packets)
         return chunks
-    trace = load_trace(path)
+    trace = PacketTrace(_load_v1_records(path, columns))
     # iter_chunks already cuts to the exact size; no rechunk pass needed
     return trace.iter_chunks(chunk_packets or max(1, trace.n_packets))
 
 
-def _iter_shards(path: Path) -> Iterator[PacketTrace]:
+def _iter_shards(path: Path, columns: tuple | None = None) -> Iterator[PacketTrace]:
     """Yield the shards of a v2 trace in manifest order, one at a time."""
     manifest = _read_manifest(path)
     for entry in manifest["shards"]:
         with np.load(path / entry["file"]) as archive:
-            records = _records_from_archive(archive)
+            records = _records_from_archive(archive, columns)
         yield PacketTrace(records)
 
 

@@ -17,14 +17,42 @@ packets of the current incomplete window.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Tuple, TypeVar
 
 import numpy as np
 
 from repro._util.validation import check_positive_int
 from repro.streaming.packet import PacketTrace
 
-__all__ = ["iter_windows", "iter_windows_chunked", "ChunkedWindower", "count_windows", "window_boundaries"]
+__all__ = [
+    "iter_windows",
+    "iter_windows_chunked",
+    "iter_batches",
+    "ChunkedWindower",
+    "count_windows",
+    "window_boundaries",
+]
+
+_T = TypeVar("_T")
+
+
+def iter_batches(items: Iterable[_T], batch_size: int) -> Iterator[Tuple[_T, ...]]:
+    """Group an iterable into consecutive tuples of *batch_size* (last short).
+
+    Order-preserving and lazy — one batch is materialized at a time, so
+    batching a window stream keeps its bounded-memory property.  The
+    execution backends use this to move whole window batches through one
+    queue slot / worker task instead of paying per-window overhead.
+    """
+    batch_size = check_positive_int(batch_size, "batch_size")
+    batch: list = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == batch_size:
+            yield tuple(batch)
+            batch = []
+    if batch:
+        yield tuple(batch)
 
 
 def window_boundaries(trace: PacketTrace, n_valid: int) -> np.ndarray:

@@ -20,18 +20,30 @@ from repro.streaming.parallel import (
     SerialBackend,
     StreamingBackend,
     default_chunksize,
+    default_worker_count,
     get_backend,
     map_windows,
+    shared_pool,
+    shutdown_shared_pools,
+    usable_cpu_count,
 )
-from repro.streaming.pipeline import StreamAnalyzer, analyze_trace, analyze_window, analyze_windows
+from repro.streaming.pipeline import (
+    StreamAnalyzer,
+    iter_window_results,
+    analyze_trace,
+    analyze_window,
+    analyze_windows,
+    default_batch_windows,
+)
 from repro.streaming.trace_io import (
+    ANALYSIS_COLUMNS,
     iter_trace_chunks,
     load_trace,
     save_trace,
     save_trace_sharded,
     trace_format,
 )
-from repro.streaming.window import ChunkedWindower, iter_windows, iter_windows_chunked
+from repro.streaming.window import ChunkedWindower, iter_batches, iter_windows, iter_windows_chunked
 
 
 class TestStreamingMoments:
@@ -513,3 +525,176 @@ class TestStreamAnalyzerDirect:
     def test_unknown_quantity_rejected(self):
         with pytest.raises(ValueError):
             StreamAnalyzer(100, quantities=("bogus",))
+
+
+class TestWindowBatching:
+    """The batched execution paths: payload batches, stream batches, pools."""
+
+    @pytest.fixture(scope="class")
+    def serial_analysis(self, small_trace):
+        return analyze_trace(small_trace, 20_000, backend="serial", keep_windows=False)
+
+    def test_iter_batches_groups_in_order(self):
+        assert list(iter_batches(range(7), 3)) == [(0, 1, 2), (3, 4, 5), (6,)]
+        assert list(iter_batches([], 4)) == []
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0))
+
+    def test_default_batch_windows_targets_four_tasks_per_worker(self):
+        assert default_batch_windows(32, 4) == 2      # -> 16 tasks
+        assert default_batch_windows(3, 8) == 1       # small workloads: no batching
+        assert default_batch_windows(100_000, 4) == 64  # capped payloads
+        with pytest.raises(ValueError):
+            default_batch_windows(0, 4)
+
+    @pytest.mark.parametrize("backend,kwargs", [
+        ("serial", {}),
+        ("process", {"n_workers": 2}),
+        ("streaming", {"chunk_packets": 40_000}),
+    ])
+    def test_batch_windows_never_changes_results(self, small_trace, serial_analysis, backend, kwargs):
+        for batch in (1, 3):
+            analysis = analyze_trace(
+                small_trace, 20_000, backend=backend, batch_windows=batch,
+                keep_windows=False, **kwargs,
+            )
+            assert analysis == serial_analysis
+
+    def test_process_path_ships_pooled_vectors(self, small_trace):
+        windows = list(iter_windows(small_trace, 20_000))
+        pairs = list(iter_window_results(ProcessBackend(2), windows))
+        assert len(pairs) == len(windows)
+        for (result, pooled), expected in zip(pairs, map(analyze_window, windows)):
+            assert result.aggregates == expected.aggregates
+            assert pooled is not None and set(pooled) == set(QUANTITY_NAMES)
+
+    def test_process_path_pools_only_requested_quantities(self, small_trace):
+        windows = list(iter_windows(small_trace, 20_000))
+        pairs = list(
+            iter_window_results(ProcessBackend(2), windows, quantities=("source_fanout",))
+        )
+        assert all(set(pooled) == {"source_fanout"} for _, pooled in pairs)
+        restricted = analyze_trace(
+            small_trace, 20_000, backend="process", n_workers=2,
+            quantities=("source_fanout",), keep_windows=False,
+        )
+        serial = analyze_trace(
+            small_trace, 20_000, quantities=("source_fanout",), keep_windows=False
+        )
+        assert restricted == serial
+
+    def test_serial_path_defers_pooling(self, small_trace):
+        windows = list(iter_windows(small_trace, 20_000))
+        pairs = list(iter_window_results(SerialBackend(), windows))
+        assert all(pooled is None for _, pooled in pairs)
+
+    def test_too_few_windows_downgrade_logged(self, small_trace, caplog):
+        window = next(iter_windows(small_trace, 20_000))
+        with caplog.at_level(logging.INFO, logger="repro.streaming.parallel"):
+            pairs = list(iter_window_results(ProcessBackend(4), [window]))
+        assert len(pairs) == 1 and pairs[0][1] is None
+        assert any("downgrading to serial" in message for message in caplog.messages)
+
+    def test_invalid_batch_windows_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="batch_windows"):
+            analyze_trace(small_trace, 20_000, batch_windows=0)
+        with pytest.raises(ValueError, match="batch_windows"):
+            analyze_trace(small_trace, 20_000, backend="streaming", batch_windows=-2)
+
+    def test_single_worker_process_path_analyses_in_process(self, small_trace, caplog):
+        windows = list(iter_windows(small_trace, 20_000))
+        with caplog.at_level(logging.DEBUG, logger="repro.streaming.pipeline"):
+            pairs = list(iter_window_results(ProcessBackend(1), windows))
+        assert all(pooled is None for _, pooled in pairs)
+        assert any("in-process" in message for message in caplog.messages)
+        for (result, _), expected in zip(pairs, map(analyze_window, windows)):
+            assert result.aggregates == expected.aggregates
+
+    def test_oversized_batch_capped_to_keep_workers_occupied(self, small_trace, serial_analysis):
+        # an explicit batch_windows larger than the workload must not collapse
+        # the map to a single task (which would downgrade the pool to serial)
+        analysis = analyze_trace(
+            small_trace, 20_000, backend="process", n_workers=2,
+            batch_windows=10_000, keep_windows=False,
+        )
+        assert analysis == serial_analysis
+
+    def test_effective_workers(self):
+        backend = ProcessBackend(4)
+        assert backend.effective_workers(0) == 0
+        assert backend.effective_workers(1) == 1
+        assert backend.effective_workers(100) == 4
+
+
+class TestSharedPools:
+    def test_shared_pool_reused_across_maps(self):
+        first = shared_pool(2)
+        assert shared_pool(2) is first
+        shutdown_shared_pools()
+        assert shared_pool(2) is not first
+        shutdown_shared_pools()
+
+    def test_failed_map_discards_pool(self):
+        backend = ProcessBackend(2)
+        before = shared_pool(2)
+        with pytest.raises(ZeroDivisionError):
+            list(backend.map(_reciprocal, [1, 2, 0, 4]))
+        # the poisoned pool was dropped; the next map starts a fresh one
+        assert list(backend.map(_reciprocal, [1, 2, 4, 8])) == [1.0, 0.5, 0.25, 0.125]
+        assert shared_pool(2) is not before
+        shutdown_shared_pools()
+
+    def test_usable_cpu_count_positive(self):
+        assert 1 <= usable_cpu_count() <= (1 << 12)
+        assert default_worker_count() >= 1
+
+
+def _reciprocal(x):
+    return 1.0 / x
+
+
+class TestAnalysisColumnReads:
+    def test_column_subset_skips_time_and_size(self, small_trace, tmp_path):
+        path = save_trace_sharded(small_trace, tmp_path / "sharded", shard_packets=30_000)
+        lean = np.concatenate(
+            [c.packets for c in iter_trace_chunks(path, columns=ANALYSIS_COLUMNS)]
+        )
+        full = np.concatenate([c.packets for c in iter_trace_chunks(path)])
+        for column in ("src", "dst", "valid"):
+            assert np.array_equal(lean[column], full[column])
+        assert not lean["time"].any() and not lean["size"].any()
+
+    def test_column_subset_v1(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.npz")
+        lean = np.concatenate(
+            [c.packets for c in iter_trace_chunks(path, columns=ANALYSIS_COLUMNS)]
+        )
+        assert np.array_equal(lean["src"], small_trace.packets["src"])
+        assert not lean["time"].any()
+
+    def test_unknown_column_rejected(self, small_trace, tmp_path):
+        path = save_trace(small_trace, tmp_path / "trace.npz")
+        with pytest.raises(ValueError, match="unknown trace columns"):
+            list(iter_trace_chunks(path, columns=("src", "nope")))
+
+    def test_path_analysis_identical_to_in_memory(self, small_trace, tmp_path):
+        path = save_trace_sharded(small_trace, tmp_path / "sharded", shard_packets=25_000)
+        from_disk = analyze_trace(path, 20_000, keep_windows=False)
+        in_memory = analyze_trace(small_trace, 20_000, keep_windows=False)
+        assert from_disk == in_memory
+
+
+class TestStreamAnalyzerMergedDense:
+    def test_merged_histogram_matches_chained_merges(self, small_trace):
+        windows = list(iter_windows(small_trace, 20_000))
+        results = [analyze_window(w) for w in windows]
+        analyzer = StreamAnalyzer(20_000, keep_windows=False)
+        for result in results:
+            analyzer.update(result)
+        for quantity in QUANTITY_NAMES:
+            chained = results[0].histograms[quantity]
+            for result in results[1:]:
+                chained = chained.merge(result.histograms[quantity])
+            streamed = analyzer.merged_histogram(quantity)
+            assert np.array_equal(streamed.degrees, chained.degrees)
+            assert np.array_equal(streamed.counts, chained.counts)
