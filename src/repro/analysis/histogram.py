@@ -143,6 +143,22 @@ class DegreeHistogram:
         object.__setattr__(self, "_dense_cache", {})
         return self
 
+    @classmethod
+    def _from_unique_trusted(cls, degrees: np.ndarray, counts: np.ndarray) -> "DegreeHistogram":
+        """Internal fast path for ``np.unique(..., return_counts=True)`` output.
+
+        *degrees* must already be sorted, unique, ``>= 1`` and the same
+        length as *counts* — exactly what ``np.unique`` over a positive
+        integer array produces, so the sketch estimators skip the
+        constructor checks the same way the fused kernel does via
+        :meth:`_from_dense_trusted`.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "degrees", degrees.astype(np.int64, copy=False))
+        object.__setattr__(self, "counts", counts.astype(np.int64, copy=False))
+        object.__setattr__(self, "_dense_cache", {})
+        return self
+
     @staticmethod
     def from_values(values: Sequence[int]) -> "DegreeHistogram":
         """Build a histogram from raw per-node/per-link quantity values."""

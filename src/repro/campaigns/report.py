@@ -95,6 +95,7 @@ class CampaignReport:
                 "scenario": cell["scenario"],
                 "seed": cell["seed"],
                 "nv": cell["n_valid"],
+                "mode": cell.get("mode", "exact"),
                 "backend": cell["backend"],
             }
             run = self.results.get(cell["key"])
@@ -114,20 +115,22 @@ class CampaignReport:
         return rows
 
     def summary_rows(self, quantity: str) -> list[dict]:
-        """Cross-seed aggregation per (scenario, N_V) group, in grid order."""
-        groups: dict[tuple[str, int], list] = {}
+        """Cross-seed aggregation per (scenario, N_V, mode) group, in grid order."""
+        groups: dict[tuple[str, int, str], list] = {}
         for cell in self.manifest["cells"]:
             run = self.results.get(cell["key"])
             if run is None:
                 continue
-            group = groups.setdefault((cell["scenario"], cell["n_valid"]), [])
+            group = groups.setdefault(
+                (cell["scenario"], cell["n_valid"], cell.get("mode", "exact")), []
+            )
             # duplicate cells (same key under several backends) share one
             # stored run; count each distinct seed once per group
             if any(seen_seed == cell["seed"] for seen_seed, _ in group):
                 continue
             group.append((cell["seed"], run))
         rows = []
-        for (scenario, n_valid), members in groups.items():
+        for (scenario, n_valid, mode), members in groups.items():
             heads = []
             drifts = []
             for _, run in members:
@@ -140,6 +143,7 @@ class CampaignReport:
                 {
                     "scenario": scenario,
                     "nv": n_valid,
+                    "mode": mode,
                     "seeds": len(members),
                     "D(d=1) mean": round(head_mean, 6),
                     "D(d=1) sigma": round(head_sigma, 6),
@@ -158,6 +162,7 @@ class CampaignReport:
                 {
                     "key": key[:12],
                     "scenario": stats.get("scenario", ""),
+                    "mode": stats.get("mode", "exact"),
                     "computed_by": stats.get("backend", ""),
                     "n_chunks": stats.get("n_chunks", ""),
                     "max_buffered_packets": stats.get("max_buffered_packets", ""),

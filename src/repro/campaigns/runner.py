@@ -54,6 +54,7 @@ class CellOutcome:
     n_valid: int
     backend: str
     status: str
+    mode: str = "exact"
     seconds: Optional[float] = None
     n_windows: Optional[int] = None
 
@@ -63,6 +64,7 @@ class CellOutcome:
             "scenario": self.scenario,
             "seed": self.seed,
             "nv": self.n_valid,
+            "mode": self.mode,
             "backend": self.backend,
             "status": self.status,
             "seconds": "" if self.seconds is None else round(self.seconds, 3),
@@ -124,6 +126,8 @@ def _compute_cell(spec: RunSpec, *, store_root: str) -> dict:
         block_packets=spec.block_packets,
         keep_windows=False,
         detectors=spec.detectors,
+        mode=spec.mode,
+        sketch=spec.sketch,
     )
     seconds = time.perf_counter() - started
     n_windows = run.analysis.n_windows
@@ -245,6 +249,7 @@ def run_campaign(
             "scenario": spec.scenario.name,
             "seed": spec.seed,
             "n_valid": spec.n_valid,
+            "mode": spec.mode,
             "backend": spec.backend,
         }
         if key in computed and key in assigned:

@@ -32,6 +32,8 @@ from repro.scenarios.scenario import Phase, Scenario, get_scenario
 from repro.scenarios.source import DEFAULT_BLOCK_PACKETS
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import BACKEND_NAMES
+from repro.streaming.pipeline import MODE_NAMES
+from repro.streaming.sketch import SketchConfig
 
 __all__ = [
     "SPEC_FORMAT_VERSION",
@@ -45,7 +47,8 @@ __all__ = [
 #: semantics (generator draw order, pooling definition, fingerprint layout)
 #: so stale store entries can never be mistaken for current ones.
 #: v2: the fingerprint gained the ``detectors`` axis (PR 4).
-SPEC_FORMAT_VERSION = 2
+#: v3: the fingerprint gained the ``mode``/``sketch`` axis (PR 6).
+SPEC_FORMAT_VERSION = 3
 
 
 def _canonical(payload) -> str:
@@ -119,6 +122,16 @@ class RunSpec:
         payloads.  Each detector's *tuning parameters* are hashed too, so
         retuning a default threshold retires stale cached alarms
         mechanically instead of relying on a manual version bump.
+    mode:
+        Per-window analysis tier, ``"exact"`` or ``"sketch"``.  Part of the
+        content key: sketched products are estimates, so an exact cell and
+        a sketched cell hold genuinely different results.
+    sketch:
+        Accuracy knobs of the sketch tier
+        (:class:`~repro.streaming.sketch.SketchConfig`); hashed via
+        :meth:`~repro.streaming.sketch.SketchConfig.as_key_payload` when
+        ``mode="sketch"``, since every knob (including the hash seed)
+        changes the estimates.  Must be ``None`` in exact mode.
     backend / chunk_packets / n_workers:
         Execution knobs.  **Not** part of the content key: every backend
         produces bit-identical results (the engine guarantee, which the
@@ -132,6 +145,8 @@ class RunSpec:
     quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
     block_packets: int = DEFAULT_BLOCK_PACKETS
     detectors: tuple[str, ...] = ()
+    mode: str = "exact"
+    sketch: SketchConfig | None = None
     backend: str = "serial"
     chunk_packets: int | None = None
     n_workers: int | None = None
@@ -144,6 +159,12 @@ class RunSpec:
         check_positive_int(self.block_packets, "block_packets")
         if self.backend not in BACKEND_NAMES:
             raise ValueError(f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}")
+        if self.mode not in MODE_NAMES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODE_NAMES}")
+        if self.mode == "exact" and self.sketch is not None:
+            raise ValueError("a sketch config was supplied but mode is 'exact'")
+        if self.mode == "sketch" and self.sketch is None:
+            object.__setattr__(self, "sketch", SketchConfig())
         unknown = set(self.quantities) - set(QUANTITY_NAMES)
         if unknown:
             raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
@@ -179,6 +200,8 @@ class RunSpec:
                         }
                         for name in self.detectors
                     ],
+                    "mode": self.mode,
+                    "sketch": None if self.sketch is None else self.sketch.as_key_payload(),
                 }
             ),
         )
@@ -198,6 +221,8 @@ class RunSpec:
             "quantities": list(self.quantities),
             "block_packets": int(self.block_packets),
             "detectors": list(self.detectors),
+            "mode": self.mode,
+            "sketch": None if self.sketch is None else self.sketch.as_key_payload(),
             "backend": self.backend,
             "chunk_packets": None if self.chunk_packets is None else int(self.chunk_packets),
             "n_workers": None if self.n_workers is None else int(self.n_workers),
@@ -209,15 +234,18 @@ class Campaign:
     """A declarative sweep: the cartesian grid of runs to perform.
 
     Expansion order is deterministic — ``scenarios × seeds × n_valids ×
-    backends``, with the rightmost axis fastest — so two expansions of equal
-    campaigns list identical cells in identical order.  Scenario names are
-    resolved (and therefore validated) at construction time, like phase
-    configs are for scenarios themselves.
+    modes × backends``, with the rightmost axis fastest — so two expansions
+    of equal campaigns list identical cells in identical order.  Scenario
+    names are resolved (and therefore validated) at construction time, like
+    phase configs are for scenarios themselves.
 
     Because the content key excludes execution knobs, listing several
     *backends* does not multiply the work: cells that differ only in backend
     share one result key, and the runner computes each unique key once —
-    the remaining combinations resolve as warm hits.
+    the remaining combinations resolve as warm hits.  Listing several
+    *modes* **does** multiply the work: exact and sketched results are
+    different payloads, which is exactly what makes an
+    accuracy-versus-cost sweep (``modes=("exact", "sketch")``) meaningful.
     """
 
     name: str
@@ -226,6 +254,8 @@ class Campaign:
     n_valids: tuple[int, ...] = (5_000,)
     quantities: tuple[str, ...] = tuple(QUANTITY_NAMES)
     detectors: tuple[str, ...] = ()
+    modes: tuple[str, ...] = ("exact",)
+    sketch: SketchConfig | None = None
     backends: tuple[str, ...] = ("serial",)
     chunk_packets: int | None = None
     block_packets: int = DEFAULT_BLOCK_PACKETS
@@ -243,6 +273,19 @@ class Campaign:
             raise ValueError(f"campaign {self.name!r} must have at least one window size")
         if not self.quantities:
             raise ValueError(f"campaign {self.name!r} must analyse at least one quantity")
+        if not self.modes:
+            raise ValueError(f"campaign {self.name!r} must name at least one mode")
+        for mode in self.modes:
+            if mode not in MODE_NAMES:
+                raise ValueError(
+                    f"campaign {self.name!r} names unknown mode {mode!r}; "
+                    f"choose from {list(MODE_NAMES)}"
+                )
+        if self.sketch is not None and "sketch" not in self.modes:
+            raise ValueError(
+                f"campaign {self.name!r} configures a sketch but never runs "
+                "mode 'sketch'; add it to modes= or drop sketch="
+            )
         if not self.backends:
             raise ValueError(f"campaign {self.name!r} must name at least one backend")
         resolved = tuple(get_scenario(s) for s in self.scenarios)
@@ -251,14 +294,15 @@ class Campaign:
         object.__setattr__(self, "n_valids", tuple(self.n_valids))
         object.__setattr__(self, "quantities", tuple(self.quantities))
         object.__setattr__(self, "detectors", tuple(self.detectors))
+        object.__setattr__(self, "modes", tuple(self.modes))
         object.__setattr__(self, "backends", tuple(self.backends))
         # expand (and thereby validate) the grid once; cells() serves this
         # tuple so repeated expansion never re-validates or re-hashes
         object.__setattr__(self, "_cells", tuple(self._iter_cells()))
 
     def _iter_cells(self) -> Iterable[RunSpec]:
-        for scenario, seed, n_valid, backend in itertools.product(
-            self.scenarios, self.seeds, self.n_valids, self.backends
+        for scenario, seed, n_valid, mode, backend in itertools.product(
+            self.scenarios, self.seeds, self.n_valids, self.modes, self.backends
         ):
             yield RunSpec(
                 scenario=scenario,
@@ -267,6 +311,8 @@ class Campaign:
                 quantities=self.quantities,
                 block_packets=self.block_packets,
                 detectors=self.detectors,
+                mode=mode,
+                sketch=self.sketch if mode == "sketch" else None,
                 backend=backend,
                 chunk_packets=self.chunk_packets,
                 n_workers=self.n_workers,
@@ -280,7 +326,8 @@ class Campaign:
     def n_cells(self) -> int:
         """Number of grid cells (including combinations sharing a result key)."""
         return (
-            len(self.scenarios) * len(self.seeds) * len(self.n_valids) * len(self.backends)
+            len(self.scenarios) * len(self.seeds) * len(self.n_valids)
+            * len(self.modes) * len(self.backends)
         )
 
     def unique_keys(self) -> tuple[str, ...]:

@@ -46,11 +46,51 @@ from repro.detect.detectors import DETECTOR_NAMES
 from repro.generators.palu_graph import generate_palu_graph
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import BACKEND_NAMES
-from repro.streaming.pipeline import analyze_trace
+from repro.streaming.pipeline import MODE_NAMES, analyze_trace
+from repro.streaming.sketch import SketchConfig
 from repro.streaming.trace_generator import TraceConfig, generate_trace_from_graph
 from repro.streaming.trace_io import load_trace, save_trace, save_trace_sharded, trace_format
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--sketch-*`` knobs of the sketch tier to *parser*."""
+    parser.add_argument("--sketch-epsilon", type=float, default=None,
+                        help="Count-Min additive error bound ε as a fraction of window "
+                             "packets (sketch mode only; default 1e-3)")
+    parser.add_argument("--sketch-delta", type=float, default=None,
+                        help="probability δ that a Count-Min estimate exceeds its ε "
+                             "bound (sketch mode only; default 0.05)")
+    parser.add_argument("--sketch-seed", type=int, default=None,
+                        help="hash seed of the sketch tier; results are deterministic "
+                             "per seed on every backend and chunking")
+
+
+def _sketch_from_args(args: argparse.Namespace) -> SketchConfig | None:
+    """The :class:`SketchConfig` implied by ``--sketch-*`` flags (None if untouched)."""
+    overrides: dict[str, float | int] = {}
+    if args.sketch_epsilon is not None:
+        overrides["epsilon"] = args.sketch_epsilon
+    if args.sketch_delta is not None:
+        overrides["delta"] = args.sketch_delta
+    if args.sketch_seed is not None:
+        overrides["seed"] = args.sketch_seed
+    return SketchConfig(**overrides) if overrides else None
+
+
+def _sketch_bounds_rows(bounds) -> list[dict]:
+    """Render a mapping of :class:`SketchBounds` as printable table rows."""
+    return [
+        {
+            "quantity": name,
+            "estimator": b.estimator,
+            "epsilon": "-" if b.epsilon is None else f"{b.epsilon:.2e}",
+            "delta": "-" if b.delta is None else f"{b.delta:.4f}",
+            "rel_err": f"{b.relative_error:.4f}",
+        }
+        for name, b in bounds.items()
+    ]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--batch-windows", type=int, default=None,
                      help="windows moved per backend task / prefetch slot "
                           "(default: auto; an execution knob — never changes results)")
+    ana.add_argument("--mode", choices=list(MODE_NAMES), default="exact",
+                     help="per-window analysis tier: 'exact' (fused kernel) or 'sketch' "
+                          "(Count-Min/HyperLogLog estimates in sub-linear memory, with "
+                          "printed error bounds)")
+    _add_sketch_arguments(ana)
     ana.add_argument("--panel", action="store_true",
                      help="also render a text panel of each pooled distribution")
     ana.set_defaults(func=_cmd_analyze)
@@ -157,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     scen_run.add_argument("--chunk-packets", type=int, default=None,
                           help="emit the scenario trace in chunks of this many packets "
                                "(bounds memory under --backend streaming)")
+    scen_run.add_argument("--mode", choices=list(MODE_NAMES), default="exact",
+                          help="per-window analysis tier: 'exact' (fused kernel) or "
+                               "'sketch' (Count-Min/HyperLogLog estimates)")
+    _add_sketch_arguments(scen_run)
     scen_run.set_defaults(func=_cmd_scenarios_run)
 
     det = subparsers.add_parser(
@@ -191,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
     det_run.add_argument("--chunk-packets", type=int, default=None,
                          help="emit the scenario trace in chunks of this many packets "
                               "(bounds memory under --backend streaming)")
+    det_run.add_argument("--batch-windows", type=int, default=None,
+                         help="windows moved per backend task / prefetch slot "
+                              "(default: auto; an execution knob — never changes alarms)")
+    det_run.add_argument("--mode", choices=list(MODE_NAMES), default="exact",
+                         help="per-window analysis tier: 'exact' (fused kernel) or "
+                              "'sketch' (detectors monitor the sketched histograms)")
+    _add_sketch_arguments(det_run)
     det_run.set_defaults(func=_cmd_detect_run)
 
     camp = subparsers.add_parser(
@@ -216,9 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=list(DETECTOR_NAMES),
                           help="online drift detectors to run in every cell "
                                "(part of the content key; default: none)")
+    camp_run.add_argument("--modes", nargs="+", default=["exact"],
+                          choices=list(MODE_NAMES),
+                          help="per-window analysis tiers (fourth grid axis; exact and "
+                               "sketched cells store distinct results)")
+    _add_sketch_arguments(camp_run)
     camp_run.add_argument("--backends", nargs="+", default=["serial"],
                           choices=list(BACKEND_NAMES),
-                          help="execution backends (fourth grid axis; cells differing only "
+                          help="execution backends (fifth grid axis; cells differing only "
                                "in backend share one stored result)")
     camp_run.add_argument("--chunk-packets", type=int, default=None,
                           help="trace chunk size for streaming-backend cells")
@@ -283,6 +344,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    sketch = _sketch_from_args(args)
+    if args.mode != "sketch" and sketch is not None:
+        print("error: --sketch-* options require --mode sketch")
+        return 2
     if args.backend == "streaming":
         if args.workers is not None:
             print("note: --workers is ignored by the streaming backend (single-threaded fold)")
@@ -298,6 +363,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             backend="streaming",
             chunk_packets=args.chunk_packets,
             batch_windows=args.batch_windows,
+            mode=args.mode,
+            sketch=sketch,
         )
         stats = analysis.engine_stats
         print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
@@ -313,10 +380,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             backend=args.backend,
             chunk_packets=args.chunk_packets,
             batch_windows=args.batch_windows,
+            mode=args.mode,
+            sketch=sketch,
         )
     print(f"{analysis.n_windows} windows of N_V = {args.nv} valid packets\n")
     print("Table-I aggregates per window:")
     print(format_table(analysis.aggregates_table()))
+    if analysis.bounds:
+        print("\nsketch error bounds (merged estimates):")
+        print(format_table(_sketch_bounds_rows(analysis.bounds)))
     rows = []
     for quantity in args.quantities:
         pooled = analysis.pooled(quantity)
@@ -440,6 +512,10 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     from repro.scenarios import analyze_scenario, get_scenario
 
+    sketch = _sketch_from_args(args)
+    if args.mode != "sketch" and sketch is not None:
+        print("error: --sketch-* options require --mode sketch")
+        return 2
     try:
         scenario = get_scenario(args.name)
     except KeyError as error:
@@ -456,6 +532,8 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         chunk_packets=args.chunk_packets,
         batch_windows=args.batch_windows,
+        mode=args.mode,
+        sketch=sketch,
     )
     stats = run.engine_stats
     print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
@@ -497,6 +575,10 @@ def _cmd_detect_run(args: argparse.Namespace) -> int:
     from repro.detect.evaluate import true_change_windows
     from repro.scenarios import analyze_scenario, get_scenario
 
+    sketch = _sketch_from_args(args)
+    if args.mode != "sketch" and sketch is not None:
+        print("error: --sketch-* options require --mode sketch")
+        return 2
     if args.max_latency < 0:
         print(f"error: --max-latency must be >= 0, got {args.max_latency}")
         return 2
@@ -514,10 +596,13 @@ def _cmd_detect_run(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_workers=args.workers,
         chunk_packets=args.chunk_packets,
+        batch_windows=args.batch_windows,
         # argparse choices allow repeats; asking for a detector twice just
         # means "this one", so dedupe rather than error
         detectors=tuple(dict.fromkeys(args.detectors)),
         detect_quantity=args.quantity,
+        mode=args.mode,
+        sketch=sketch,
     )
     stats = run.engine_stats
     print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
@@ -547,6 +632,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             n_valids=tuple(args.nv),
             quantities=tuple(args.quantities),
             detectors=tuple(dict.fromkeys(args.detectors)),
+            modes=tuple(dict.fromkeys(args.modes)),
+            sketch=_sketch_from_args(args),
             backends=tuple(args.backends),
             chunk_packets=args.chunk_packets,
         )

@@ -10,6 +10,13 @@ costs one extra O(bins) pass per window, and inherits the engine's
 bit-identity guarantee: the alarm sequence is identical on every backend
 and invariant to chunking.
 
+Detection is tier-agnostic: detectors score pooled vectors, never raw
+windows, so wrapping a sketch-mode analyzer
+(``StreamAnalyzer(..., mode="sketch")``) monitors the sketch-estimated
+histograms with the same code path — drift alarms at line rate in
+O(sketch) memory per window, still deterministic per sketch seed and
+bit-identical across backends (pinned by ``tests/test_detect_sketch_golden.py``).
+
 The wrapper is API-compatible with ``StreamAnalyzer`` where it matters
 (``update`` / ``result`` / ``n_windows``), so it drops into any fold loop::
 

@@ -28,6 +28,7 @@ from repro.scenarios.source import DEFAULT_BLOCK_PACKETS, ScenarioTraceSource, S
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import ExecutionBackend, get_backend
 from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, iter_window_results
+from repro.streaming.sketch import SketchConfig
 from repro.streaming.window import ChunkedWindower
 
 __all__ = ["ScenarioRun", "analyze_scenario"]
@@ -80,6 +81,8 @@ def analyze_scenario(
     batch_windows: int | None = None,
     detectors: Sequence[str] | None = None,
     detect_quantity: str | None = None,
+    mode: str = "exact",
+    sketch: SketchConfig | None = None,
 ) -> ScenarioRun:
     """Generate and analyse a scenario in one bounded-memory pass.
 
@@ -113,6 +116,13 @@ def analyze_scenario(
     detect_quantity:
         Which pooled quantity the detectors monitor (default:
         ``"source_fanout"`` when analysed, else the first of *quantities*).
+    mode, sketch:
+        Per-window analysis tier, as in
+        :func:`repro.streaming.pipeline.analyze_trace`: ``"exact"``
+        (default) or ``"sketch"``.  Detection and phase segmentation run
+        unchanged on sketched histograms — drift alarms at line rate in
+        O(sketch) memory per window — and stay bit-identical across
+        backends and chunkings for a fixed sketch seed.
 
     Returns
     -------
@@ -138,7 +148,9 @@ def analyze_scenario(
         raise ValueError(
             "detect_quantity was given but no detectors; pass detectors= to enable detection"
         )
-    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    analyzer = StreamAnalyzer(
+        n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
+    )
     folder: Union[StreamAnalyzer, DetectingAnalyzer] = analyzer
     if detectors:  # None or empty both mean "no detection"
         folder = DetectingAnalyzer(analyzer, detectors, quantity=detect_quantity)
@@ -148,7 +160,8 @@ def analyze_scenario(
         n_valid, scenario.n_phases, source.phase_of_valid_index, quantities
     )
     pairs = iter_window_results(
-        backend_impl, windower, batch_windows=batch_windows, quantities=analyzer.quantities
+        backend_impl, windower, batch_windows=batch_windows,
+        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
     )
     for result, pooled in pairs:
         if pooled is None:

@@ -43,13 +43,23 @@ from repro.streaming.parallel import (
     usable_cpu_count,
 )
 from repro.streaming.pipeline import (
+    MODE_NAMES,
     StreamAnalyzer,
     WindowedAnalysis,
     analyze_trace,
     analyze_window,
     analyze_window_image,
+    analyze_window_sketch,
     analyze_windows,
     default_batch_windows,
+)
+from repro.streaming.sketch import (
+    DEFAULT_SKETCH_CONFIG,
+    SketchBounds,
+    SketchConfig,
+    WindowSketch,
+    build_sketch,
+    sketch_products,
 )
 from repro.streaming.sparse_image import TrafficImage, traffic_image
 from repro.streaming.trace_generator import TraceConfig, generate_trace, generate_trace_from_graph
@@ -85,13 +95,21 @@ __all__ = [
     "StreamingBackend",
     "get_backend",
     "map_windows",
+    "MODE_NAMES",
     "StreamAnalyzer",
     "WindowedAnalysis",
     "analyze_trace",
     "analyze_window",
     "analyze_window_image",
+    "analyze_window_sketch",
     "analyze_windows",
     "default_batch_windows",
+    "DEFAULT_SKETCH_CONFIG",
+    "SketchBounds",
+    "SketchConfig",
+    "WindowSketch",
+    "build_sketch",
+    "sketch_products",
     "default_worker_count",
     "usable_cpu_count",
     "shutdown_shared_pools",

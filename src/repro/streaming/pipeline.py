@@ -44,21 +44,50 @@ from repro.streaming.parallel import (
     StreamingBackend,
     get_backend,
 )
+from repro.streaming.sketch import (
+    DEFAULT_SKETCH_CONFIG,
+    SketchBounds,
+    SketchConfig,
+    WindowSketch,
+    sketch_products,
+)
 from repro.streaming.sparse_image import traffic_image
 from repro.streaming.trace_io import ANALYSIS_COLUMNS, iter_trace_chunks, rechunk
 from repro.streaming.window import ChunkedWindower, iter_batches, iter_windows
 
 __all__ = [
+    "MODE_NAMES",
     "WindowResult",
     "WindowedAnalysis",
     "StreamAnalyzer",
     "analyze_window",
     "analyze_window_image",
+    "analyze_window_sketch",
     "analyze_windows",
     "analyze_trace",
     "default_batch_windows",
     "iter_window_results",
 ]
+
+#: Per-window analysis modes: the exact fused kernel, or the sub-linear
+#: Count-Min/HyperLogLog sketch tier (:mod:`repro.streaming.sketch`).
+MODE_NAMES = ("exact", "sketch")
+
+
+def _resolve_sketch_config(mode: str, sketch: "SketchConfig | None") -> "SketchConfig | None":
+    """Validate *mode* and pin the sketch configuration it implies.
+
+    Returns ``None`` for exact mode (rejecting a stray sketch config, which
+    would otherwise be silently ignored) and a concrete
+    :class:`~repro.streaming.sketch.SketchConfig` for sketch mode.
+    """
+    if mode not in MODE_NAMES:
+        raise ValueError(f"unknown mode {mode!r}; valid modes: {MODE_NAMES}")
+    if mode == "exact":
+        if sketch is not None:
+            raise ValueError("a sketch config was supplied but mode is 'exact'")
+        return None
+    return sketch if sketch is not None else DEFAULT_SKETCH_CONFIG
 
 _logger = get_logger("streaming.pipeline")
 
@@ -67,10 +96,18 @@ _NO_WINDOWS_MESSAGE = "no complete windows to analyse; lower n_valid or provide 
 
 @dataclass(frozen=True)
 class WindowResult:
-    """Per-window analysis products."""
+    """Per-window analysis products.
+
+    ``bounds`` and ``sketch`` are populated only on sketch-mode results:
+    the per-quantity error guarantees of the estimates, and the mergeable
+    :class:`~repro.streaming.sketch.WindowSketch` the streaming fold
+    combines across windows.  Exact-kernel results leave both ``None``.
+    """
 
     aggregates: AggregateProperties
     histograms: Mapping[str, DegreeHistogram]
+    bounds: Mapping[str, SketchBounds] | None = None
+    sketch: WindowSketch | None = None
 
     def pooled(self, quantity: str) -> PooledDistribution:
         """Pooled differential cumulative distribution of one quantity."""
@@ -110,6 +147,10 @@ class _StreamState:
     merged: Mapping[str, DegreeHistogram]
     aggregate_rows: Sequence[AggregateProperties]
     stats: Mapping[str, object]
+    #: sketch-mode extras: the cross-window merged sketch and the error
+    #: bounds of its estimates (``None`` on exact-mode analyses)
+    sketch: WindowSketch | None = None
+    bounds: Mapping[str, SketchBounds] | None = None
 
 
 @dataclass(frozen=True, eq=False)
@@ -192,11 +233,35 @@ class WindowedAnalysis:
     def engine_stats(self) -> Mapping[str, object]:
         """Execution statistics recorded by the single-pass engine.
 
-        Keys (when produced by :func:`analyze_trace`): ``backend``, and for
-        chunked input also ``max_buffered_packets`` and ``n_chunks``.  Empty
-        for analyses built directly from window results.
+        Keys (when produced by :func:`analyze_trace`): ``backend``, ``mode``,
+        and for chunked input also ``max_buffered_packets`` and
+        ``n_chunks``.  Empty for analyses built directly from window
+        results.
         """
         return dict(self._stream.stats) if self._stream is not None else {}
+
+    @property
+    def mode(self) -> str:
+        """Which per-window analysis produced this: ``"exact"`` or ``"sketch"``."""
+        if self._stream is not None:
+            return str(self._stream.stats.get("mode", "exact"))
+        return "exact"
+
+    @property
+    def sketch(self) -> WindowSketch | None:
+        """The cross-window merged sketch (sketch-mode analyses only)."""
+        return self._stream.sketch if self._stream is not None else None
+
+    @property
+    def bounds(self) -> Mapping[str, SketchBounds] | None:
+        """Per-quantity error bounds of the estimates (sketch mode only).
+
+        Keyed by quantity name plus the Table-I aggregate names; ``None``
+        on exact analyses, whose products carry no estimation error.
+        """
+        if self._stream is not None and self._stream.bounds is not None:
+            return dict(self._stream.bounds)
+        return None
 
     def _check_quantity(self, quantity: str) -> None:
         if quantity not in self.quantities:
@@ -280,21 +345,31 @@ class StreamAnalyzer:
         *,
         keep_windows: bool = False,
         keep_aggregates: bool = True,
+        mode: str = "exact",
+        sketch: SketchConfig | None = None,
     ) -> None:
         self.n_valid = check_positive_int(n_valid, "n_valid")
         unknown = set(quantities) - set(QUANTITY_NAMES)
         if unknown:
             raise ValueError(f"unknown quantities {sorted(unknown)}; valid names: {QUANTITY_NAMES}")
         self.quantities = tuple(quantities)
+        self.sketch_config = _resolve_sketch_config(mode, sketch)
+        self.mode = mode
         self._moments = {q: StreamingMoments() for q in self.quantities}
         self._totals = {q: 0 for q in self.quantities}
         # merged histograms are folded as growing dense count buffers: one
         # int64 scatter-add per window instead of a DegreeHistogram
         # re-validation per merge — integer sums, so the final histogram is
-        # identical to chained DegreeHistogram.merge calls
-        self._merged_dense: dict[str, np.ndarray] = {
-            q: np.zeros(0, dtype=np.int64) for q in self.quantities
-        }
+        # identical to chained DegreeHistogram.merge calls.  In sketch mode
+        # the dense buffers are replaced by a single merged WindowSketch
+        # (Count-Min add / HyperLogLog max / bitmap or — associative, so
+        # the fold is invariant to how the window stream was chunked) and
+        # merged histograms are estimated from it on demand.
+        self._merged_dense: dict[str, np.ndarray] = (
+            {} if self.sketch_config is not None
+            else {q: np.zeros(0, dtype=np.int64) for q in self.quantities}
+        )
+        self._merged_sketch: WindowSketch | None = None
         self._aggregates: list[AggregateProperties] | None = [] if keep_aggregates else None
         self._windows: list[WindowResult] | None = [] if keep_windows else None
         self._n_windows = 0
@@ -329,6 +404,8 @@ class StreamAnalyzer:
             )
             self._moments[quantity].update(window_pooled.values)
             self._totals[quantity] += window_pooled.total
+            if self.sketch_config is not None:
+                continue
             dense = self._merged_dense[quantity]
             if histogram.dmax > dense.size:
                 grown = np.zeros(histogram.dmax, dtype=np.int64)
@@ -337,6 +414,18 @@ class StreamAnalyzer:
             if histogram.degrees.size:
                 # degrees are unique, so the fancy scatter-add is exact
                 dense[histogram.degrees - 1] += histogram.counts
+        if self.sketch_config is not None:
+            if result.sketch is None:
+                raise ValueError(
+                    "sketch-mode StreamAnalyzer was fed a window result without a "
+                    "sketch; produce results via analyze_window_sketch / mode='sketch'"
+                )
+            if result.sketch.config != self.sketch_config:
+                raise ValueError("window sketch was built under a different SketchConfig")
+            if self._merged_sketch is None:
+                self._merged_sketch = result.sketch.copy()
+            else:
+                self._merged_sketch.merge_into(result.sketch)
         if self._windows is not None:
             self._windows.append(result)
 
@@ -352,19 +441,37 @@ class StreamAnalyzer:
         )
 
     def merged_histogram(self, quantity: str) -> DegreeHistogram:
-        """Current counts of one quantity summed over the folded windows."""
+        """Current counts of one quantity summed over the folded windows.
+
+        In sketch mode this is estimated from the merged sketch — sharper
+        than merging the per-window estimates, because bucket sums combine
+        before the histogram is read off.
+        """
+        if self.sketch_config is not None:
+            if self._merged_sketch is None:
+                return DegreeHistogram._from_dense_trusted(np.zeros(0, dtype=np.int64))
+            return self._merged_sketch.histograms()[quantity]
         return DegreeHistogram._from_dense_trusted(self._merged_dense[quantity])
 
     def result(self, *, stats: Mapping[str, object] | None = None) -> WindowedAnalysis:
         """Finalize into a :class:`WindowedAnalysis` (raises if no windows)."""
         if self.n_windows == 0:
             raise ValueError(_NO_WINDOWS_MESSAGE)
+        run_stats = dict(stats or {})
+        run_stats.setdefault("mode", self.mode)
+        if self._merged_sketch is not None:
+            merged_estimates = self._merged_sketch.histograms()
+            merged = {q: merged_estimates[q] for q in self.quantities}
+        else:
+            merged = {q: self.merged_histogram(q) for q in self.quantities}
         state = _StreamState(
             n_windows=self.n_windows,
             pooled={q: self.pooled(q) for q in self.quantities},
-            merged={q: self.merged_histogram(q) for q in self.quantities},
+            merged=merged,
             aggregate_rows=tuple(self._aggregates or ()),
-            stats=dict(stats or {}),
+            stats=run_stats,
+            sketch=self._merged_sketch,
+            bounds=self._merged_sketch.bounds() if self._merged_sketch is not None else None,
         )
         return WindowedAnalysis(
             n_valid=self.n_valid,
@@ -401,6 +508,26 @@ def analyze_window_image(window: PacketTrace) -> WindowResult:
     return WindowResult(
         aggregates=compute_aggregates(image),
         histograms=quantity_histograms(image),
+    )
+
+
+def analyze_window_sketch(
+    window: PacketTrace, config: SketchConfig = DEFAULT_SKETCH_CONFIG
+) -> WindowResult:
+    """Analyse a single window via the sub-linear sketch tier.
+
+    Drop-in sibling of :func:`analyze_window`: same valid-packet columns
+    in, same :class:`WindowResult` shape out — but the aggregates and
+    histograms are Count-Min/HyperLogLog *estimates* whose guarantees are
+    recorded on ``result.bounds``, and ``result.sketch`` carries the
+    mergeable summary so a streaming fold combines windows in O(sketch)
+    memory.  Runtime is data-independent; the exact kernel remains the
+    oracle (``tests/test_sketch_oracle.py``).
+    """
+    src, dst = _kernel.valid_columns(window)
+    aggregates, histograms, bounds, sketch = sketch_products(src, dst, config)
+    return WindowResult(
+        aggregates=aggregates, histograms=histograms, bounds=bounds, sketch=sketch
     )
 
 
@@ -454,9 +581,46 @@ def _analyze_payload_batch(
     return tuple(pairs)
 
 
+def _sketch_payload_result(
+    payload: _kernel.WindowPayload, config: SketchConfig
+) -> WindowResult:
+    """Sketch one shipped window payload (worker side of the process backend)."""
+    src, dst = _kernel.payload_columns(payload)
+    aggregates, histograms, bounds, sketch = sketch_products(src, dst, config)
+    return WindowResult(
+        aggregates=aggregates, histograms=histograms, bounds=bounds, sketch=sketch
+    )
+
+
+def _analyze_payload_batch_sketch(
+    batch: Tuple[_kernel.WindowPayload, ...],
+    quantities: Sequence[str] = QUANTITY_NAMES,
+    config: SketchConfig = DEFAULT_SKETCH_CONFIG,
+) -> Tuple[_ResultPair, ...]:
+    """Sketch-mode worker task of the batched process backend.
+
+    Same shape as :func:`_analyze_payload_batch` (results plus worker-side
+    pooled vectors); each result additionally ships its ~0.4 MB sketch so
+    the parent can fold by merging.
+    """
+    pairs = []
+    for payload in batch:
+        result = _sketch_payload_result(payload, config)
+        pooled = {q: pool_differential_cumulative(result.histograms[q]) for q in quantities}
+        pairs.append((result, pooled))
+    return tuple(pairs)
+
+
 def _analyze_window_batch(batch: Tuple[PacketTrace, ...]) -> Tuple[WindowResult, ...]:
     """In-process batch analysis (one streaming-backend queue slot)."""
     return tuple(analyze_window(window) for window in batch)
+
+
+def _analyze_window_batch_sketch(
+    batch: Tuple[PacketTrace, ...], config: SketchConfig = DEFAULT_SKETCH_CONFIG
+) -> Tuple[WindowResult, ...]:
+    """Sketch-mode in-process batch analysis (one streaming queue slot)."""
+    return tuple(analyze_window_sketch(window, config) for window in batch)
 
 
 def iter_window_results(
@@ -465,6 +629,8 @@ def iter_window_results(
     *,
     batch_windows: int | None = None,
     quantities: Sequence[str] = QUANTITY_NAMES,
+    mode: str = "exact",
+    sketch: SketchConfig | None = None,
 ) -> Iterator[_ResultPair]:
     """Map windows through a backend, yielding ``(result, pooled)`` in order.
 
@@ -487,16 +653,24 @@ def iter_window_results(
 
     Every strategy yields results in window order, so the downstream fold —
     and therefore the pooled output — is bit-identical across all of them.
+    In sketch mode (``mode="sketch"``) the same dispatch applies with the
+    sketch-tier per-window analysis; sketched results are likewise
+    bit-identical among themselves across backends and batch sizes.
     """
+    sketch_config = _resolve_sketch_config(mode, sketch)
     if batch_windows is not None:
         batch_windows = check_positive_int(batch_windows, "batch_windows")
+    if sketch_config is not None:
+        window_task = functools.partial(analyze_window_sketch, config=sketch_config)
+    else:
+        window_task = analyze_window
     if isinstance(backend_impl, ProcessBackend):
         if backend_impl.n_workers <= 1:
             # nothing to parallelise: stay lazy and in-process, identical to
             # the serial backend (no payload packing, one window at a time)
             _logger.debug("process backend has a single worker; analysing in-process")
             for window in windows:
-                yield analyze_window(window), None
+                yield window_task(window), None
             return
         # pack each window as it streams past — one window alive at a time,
         # so peak memory is the column payloads, never payloads + records;
@@ -507,8 +681,11 @@ def iter_window_results(
         if backend_impl.downgraded(n):  # n <= 1: cannot occupy a second worker
             _logger.debug("process backend cannot parallelise %d window(s); analysing in-process", n)
             for payload in payloads:
-                aggregates, histograms = _kernel.payload_products(payload)
-                yield WindowResult(aggregates=aggregates, histograms=histograms), None
+                if sketch_config is not None:
+                    yield _sketch_payload_result(payload, sketch_config), None
+                else:
+                    aggregates, histograms = _kernel.payload_products(payload)
+                    yield WindowResult(aggregates=aggregates, histograms=histograms), None
             return
         batch = batch_windows or default_batch_windows(n, backend_impl.n_workers)
         # an oversized explicit batch must not starve the pool below one
@@ -519,18 +696,29 @@ def iter_window_results(
             "process backend: %d windows -> %d batched tasks of <= %d windows",
             n, len(batches), batch,
         )
-        task = functools.partial(_analyze_payload_batch, quantities=tuple(quantities))
+        if sketch_config is not None:
+            task = functools.partial(
+                _analyze_payload_batch_sketch,
+                quantities=tuple(quantities),
+                config=sketch_config,
+            )
+        else:
+            task = functools.partial(_analyze_payload_batch, quantities=tuple(quantities))
         for pair_batch in backend_impl.map(task, batches):
             yield from pair_batch
         return
     if isinstance(backend_impl, StreamingBackend):
         batch = batch_windows or STREAM_BATCH_WINDOWS
         _logger.debug("streaming backend: prefetching window batches of %d", batch)
-        for result_batch in backend_impl.map(_analyze_window_batch, iter_batches(windows, batch)):
+        if sketch_config is not None:
+            batch_task = functools.partial(_analyze_window_batch_sketch, config=sketch_config)
+        else:
+            batch_task = _analyze_window_batch
+        for result_batch in backend_impl.map(batch_task, iter_batches(windows, batch)):
             for result in result_batch:
                 yield result, None
         return
-    for result in backend_impl.map(analyze_window, windows):
+    for result in backend_impl.map(window_task, windows):
         yield result, None
 
 
@@ -543,12 +731,17 @@ def analyze_windows(
     backend: Union[str, ExecutionBackend, None] = None,
     keep_windows: bool = True,
     batch_windows: int | None = None,
+    mode: str = "exact",
+    sketch: SketchConfig | None = None,
 ) -> WindowedAnalysis:
     """Analyse pre-cut windows (used directly by the parallel benchmarks)."""
     backend_impl = get_backend(backend, n_workers=n_workers)
-    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    analyzer = StreamAnalyzer(
+        n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
+    )
     pairs = iter_window_results(
-        backend_impl, windows, batch_windows=batch_windows, quantities=analyzer.quantities
+        backend_impl, windows, batch_windows=batch_windows,
+        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
     )
     for result, pooled in pairs:
         analyzer.update(result, pooled=pooled)
@@ -566,6 +759,8 @@ def analyze_trace(
     chunk_packets: int | None = None,
     keep_windows: bool | None = None,
     batch_windows: int | None = None,
+    mode: str = "exact",
+    sketch: SketchConfig | None = None,
 ) -> WindowedAnalysis:
     """Window a trace and analyse every complete ``N_V`` window in one pass.
 
@@ -605,6 +800,17 @@ def analyze_trace(
         per-backend default (:func:`default_batch_windows` for the process
         backend, :data:`STREAM_BATCH_WINDOWS` for streaming).  Batching
         never changes results — only how they move.
+    mode:
+        Per-window analysis tier: ``"exact"`` (the fused kernel, default)
+        or ``"sketch"`` (the sub-linear Count-Min/HyperLogLog tier of
+        :mod:`repro.streaming.sketch` — estimated products with error
+        bounds on ``result.bounds``, O(sketch) fold memory, and
+        data-independent per-packet cost).
+    sketch:
+        Accuracy knobs for sketch mode
+        (:class:`~repro.streaming.sketch.SketchConfig`); ``None`` uses
+        :data:`~repro.streaming.sketch.DEFAULT_SKETCH_CONFIG`.  Rejected
+        in exact mode.
 
     Returns
     -------
@@ -641,9 +847,12 @@ def analyze_trace(
         windows = itertools.islice(windows, int(max_windows))
 
     _logger.debug("analysing windows of %d valid packets via %s backend", n_valid, backend_impl.name)
-    analyzer = StreamAnalyzer(n_valid, quantities, keep_windows=keep_windows)
+    analyzer = StreamAnalyzer(
+        n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
+    )
     pairs = iter_window_results(
-        backend_impl, windows, batch_windows=batch_windows, quantities=analyzer.quantities
+        backend_impl, windows, batch_windows=batch_windows,
+        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
     )
     for result, pooled in pairs:
         analyzer.update(result, pooled=pooled)

@@ -1,0 +1,655 @@
+"""Sub-linear sketch tier: Count-Min + HyperLogLog window analysis.
+
+The exact fused kernel (:mod:`repro.streaming.kernel`) pays an
+``argsort`` over every ``(src, dst)`` pair per window, so its cost grows
+with the *diversity* of the window — at production scale (millions of
+packets, hundreds of thousands of distinct links) it stops fitting the
+single-core time and memory budget.  This module trades exactness for a
+data-independent cost: every Table-I aggregate and Figure-1 histogram is
+estimated from a fixed-size mergeable summary built in one pass over the
+packet columns.
+
+Structures (all sized by :class:`SketchConfig`, independent of ``N_V``):
+
+* three Count-Min sketches (Cormode & Muthukrishnan, *J. Algorithms*
+  2005) — one per key kind (source, destination, link) — give
+  never-undercounting per-key packet counts with the classic guarantee
+  ``P[estimate > true + eps_eff * n] <= delta_eff`` per query, where
+  ``eps_eff = e / width`` and ``delta_eff = e ** -depth``;
+* three HyperLogLog registers (Flajolet et al., AofA 2007) estimate the
+  distinct-count aggregates (active sources, destinations, unique links)
+  with relative standard error ``1.04 / sqrt(2 ** hll_p)``;
+* two *spread bitmaps* (rows hashed by entity, columns by neighbour —
+  the same row/column folding used by Locher-style spread sketches)
+  estimate the fan-out / fan-in histograms via per-row linear counting.
+
+Histograms are recovered without per-entity state by histogramming the
+*buckets* themselves: the first Count-Min row partitions entities into
+``width`` buckets whose values are sums of colliding entities, so the
+bucket-value histogram approximates the entity-count histogram while
+conserving total mass exactly (``sum(d * n(d)) == n_packets``).  The
+spread bitmaps do the analogue for fan-out/fan-in.
+
+Every structure is a commutative monoid (Count-Min: elementwise add,
+HyperLogLog: elementwise max, bitmaps: bitwise or), so
+:meth:`WindowSketch.merge` is associative and the streaming fold is
+bit-identical for any chunking of the window stream under a fixed
+:attr:`SketchConfig.seed`.  The exact kernel stays available as the
+oracle; ``tests/test_sketch_oracle.py`` pins the error guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.histogram import DegreeHistogram
+from repro.streaming.aggregates import AggregateProperties
+
+__all__ = [
+    "DEFAULT_SKETCH_CONFIG",
+    "SketchBounds",
+    "SketchConfig",
+    "WindowSketch",
+    "build_sketch",
+    "sketch_products",
+]
+
+_U64 = (1 << 64) - 1
+#: splitmix64 constants (Steele, Lea & Flood, OOPSLA 2014) — the stream
+#: seeds below 2**32 used by the trace generator are far too regular to
+#: index hash tables directly, so every id goes through this finalizer.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: odd multiplier deriving the Kirsch-Mitzenmacher second hash ``h2``.
+_ALT = 0xC2B2AE3D27D4EB4F
+#: multiplier combining the two mixed endpoints into the link key.
+_LINKMUL = 0x9DDFEA08EB382D69
+
+#: key kinds, in array index order, for the stacked sketch tables.
+_KINDS = ("source", "destination", "link")
+_SRC, _DST, _LINK = 0, 1, 2
+#: spread bitmap index order: fan-out (rows=sources), fan-in (rows=dests).
+_OUT, _IN = 0, 1
+
+#: packets are consumed in fixed-size blocks so the build's temporary
+#: memory is O(block + tables) however large the window is.
+_BLOCK = 1 << 16
+
+#: low 52 bits of a mixed key feed the HyperLogLog rank via an exact
+#: float64 conversion (every integer below 2**53 is representable).
+_MASK52 = np.uint64((1 << 52) - 1)
+
+#: HyperLogLog ranks saturate at 31 (classic 5-bit LogLog registers):
+#: ``P[rank > 31] = 2**-31`` per element, invisible below ~10**9 distinct
+#: keys, and the cap halves the rank-presence planes the build scatters
+#: into — the difference between fitting in L2 and thrashing it.
+_RANK_CAP = 31
+_RANK_BITS = 32
+
+#: per-byte popcount table for the packed spread bitmaps.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+def _scalar_mix(value: int) -> int:
+    """splitmix64 finalizer on a Python integer (salt derivation)."""
+    z = value & _U64
+    z = ((z ^ (z >> 30)) * _MIX1) & _U64
+    z = ((z ^ (z >> 27)) * _MIX2) & _U64
+    return z ^ (z >> 31)
+
+
+def _splitmix_inplace(h: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Apply the splitmix64 finalizer to uint64 array *h* in place."""
+    np.right_shift(h, np.uint64(30), out=tmp)
+    h ^= tmp
+    h *= np.uint64(_MIX1)
+    np.right_shift(h, np.uint64(27), out=tmp)
+    h ^= tmp
+    h *= np.uint64(_MIX2)
+    np.right_shift(h, np.uint64(31), out=tmp)
+    h ^= tmp
+    return h
+
+
+def _link_mix_inplace(out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """Strengthen the additive link combination ``S + D * LINKMUL`` in place."""
+    np.right_shift(out, np.uint64(32), out=tmp)
+    out ^= tmp
+    out *= np.uint64(_MIX1)
+    np.right_shift(out, np.uint64(29), out=tmp)
+    out ^= tmp
+    return out
+
+
+def _as_u64(ids) -> np.ndarray:
+    """Reinterpret an integer id array as contiguous uint64 (zero-copy for int64)."""
+    arr = np.ascontiguousarray(ids, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("id columns must be one-dimensional")
+    return arr.view(np.uint64)
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Accuracy/size knobs of the sketch tier.
+
+    Attributes
+    ----------
+    epsilon:
+        Requested Count-Min additive error as a fraction of window packets;
+        the table width is the next power of two ``>= e / epsilon`` so the
+        effective guarantee (:attr:`effective_epsilon`) is at least as tight.
+    delta:
+        Requested per-query failure probability; depth is
+        ``ceil(ln(1 / delta))`` rows.
+    hll_p:
+        HyperLogLog precision — ``2 ** hll_p`` registers, relative standard
+        error ``1.04 / sqrt(2 ** hll_p)`` on the distinct-count aggregates.
+    spread_rows / spread_cols:
+        Power-of-two shape of the fan-out / fan-in bitmaps (rows hash the
+        entity, columns hash the neighbour; per-row linear counting).
+    seed:
+        Salts every hash; sketches only merge when built under one seed.
+    """
+
+    epsilon: float = 1e-3
+    delta: float = 0.05
+    hll_p: int = 12
+    spread_rows: int = 2048
+    spread_cols: int = 256
+    seed: int = 20210329
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.epsilon < 1.0):
+            raise ValueError("epsilon must be in (0, 1)")
+        if not (0.0 < self.delta < 1.0):
+            raise ValueError("delta must be in (0, 1)")
+        if not (4 <= int(self.hll_p) <= 18):
+            raise ValueError("hll_p must be in [4, 18]")
+        for name in ("spread_rows", "spread_cols"):
+            value = int(getattr(self, name))
+            if value < 8 or value & (value - 1):
+                raise ValueError(f"{name} must be a power of two >= 8")
+        if int(self.spread_cols) > (1 << 20):
+            raise ValueError("spread_cols is unreasonably large")
+
+    @property
+    def width(self) -> int:
+        """Count-Min table width: next power of two ``>= e / epsilon``."""
+        need = math.ceil(math.e / self.epsilon)
+        return 1 << max(3, (need - 1).bit_length())
+
+    @property
+    def depth(self) -> int:
+        """Count-Min table depth: ``ceil(ln(1 / delta))`` rows (>= 1)."""
+        return max(1, math.ceil(math.log(1.0 / self.delta)))
+
+    @property
+    def hll_m(self) -> int:
+        """Number of HyperLogLog registers, ``2 ** hll_p``."""
+        return 1 << int(self.hll_p)
+
+    @property
+    def effective_epsilon(self) -> float:
+        """Additive-error fraction actually guaranteed: ``e / width``."""
+        return math.e / self.width
+
+    @property
+    def effective_delta(self) -> float:
+        """Per-query failure probability actually guaranteed: ``e ** -depth``."""
+        return math.exp(-self.depth)
+
+    @property
+    def hll_relative_error(self) -> float:
+        """HyperLogLog relative standard error, ``1.04 / sqrt(m)``."""
+        return 1.04 / math.sqrt(self.hll_m)
+
+    def salts(self) -> Tuple[int, ...]:
+        """Per-kind uint64 hash salts derived from :attr:`seed`."""
+        return tuple(
+            _scalar_mix(self.seed + (index + 1) * _GAMMA) for index in range(len(_KINDS))
+        )
+
+    def as_key_payload(self) -> Dict[str, object]:
+        """JSON-stable mapping of every accuracy knob, for content hashing."""
+        return {
+            "epsilon": float(self.epsilon),
+            "delta": float(self.delta),
+            "hll_p": int(self.hll_p),
+            "spread_rows": int(self.spread_rows),
+            "spread_cols": int(self.spread_cols),
+            "seed": int(self.seed),
+        }
+
+
+#: module-wide default configuration (eps 1e-3 -> width 4096, delta 0.05
+#: -> depth 3, 4096 HLL registers, 2048x256 spread bitmaps).
+DEFAULT_SKETCH_CONFIG = SketchConfig()
+
+
+@dataclass(frozen=True)
+class SketchBounds:
+    """Error bound of one estimated quantity.
+
+    Attributes
+    ----------
+    estimator:
+        Which structure produced the estimate (``"count-min"``,
+        ``"hyperloglog"``, ``"spread-bitmap"`` or ``"exact"``).
+    epsilon / delta:
+        The Count-Min ``(eps, delta)`` guarantee — estimate never
+        undercounts and overcounts by more than ``epsilon * n_packets``
+        with probability at least ``1 - delta`` per query; ``None`` for
+        estimators without an additive guarantee.
+    relative_error:
+        Expected relative error of the estimate: the standard error for
+        HyperLogLog, and the expected entity-merging deficit (fraction of
+        entities lost to bucket collisions) for the bucket histograms.
+    """
+
+    estimator: str
+    epsilon: Optional[float]
+    delta: Optional[float]
+    relative_error: float
+
+
+def _collision_deficit(distinct: float, buckets: int) -> float:
+    """Expected fraction of entities merged away by bucket collisions.
+
+    Hashing ``distinct`` entities into ``buckets`` occupies
+    ``buckets * (1 - exp(-load))`` cells at ``load = distinct / buckets``,
+    so the bucket histogram undercounts entities by ``1 - (1 - exp(-load))
+    / load`` — the quantity reported as ``relative_error`` for the
+    Count-Min and spread-bitmap histograms.
+    """
+    if distinct <= 0.0 or buckets <= 0:
+        return 0.0
+    load = distinct / buckets
+    return float(1.0 + math.expm1(-load) / load) if load > 1e-12 else 0.0
+
+
+def _hll_estimate(registers: np.ndarray) -> int:
+    """Standard HyperLogLog cardinality estimate with small-range correction."""
+    m = registers.size
+    alpha = 0.7213 / (1.0 + 1.079 / m)
+    raw = alpha * m * m / float(np.sum(np.ldexp(1.0, -registers.astype(np.int64))))
+    zeros = int(np.count_nonzero(registers == 0))
+    if zeros and raw <= 2.5 * m:
+        return int(round(m * math.log(m / zeros)))
+    return int(round(raw))
+
+
+def _linear_count_lut(cols: int) -> np.ndarray:
+    """Occupancy -> distinct-count linear-counting table for one bitmap row.
+
+    Entry ``c`` is ``round(-cols * ln(1 - c / cols))``; a saturated row
+    (``c == cols``) is clamped to the estimate at half a free cell.
+    """
+    lut = np.zeros(cols + 1, dtype=np.int64)
+    c = np.arange(1, cols + 1, dtype=np.float64)
+    frac = np.minimum(c / cols, (cols - 0.5) / cols)
+    lut[1:] = np.maximum(1, np.rint(-cols * np.log1p(-frac))).astype(np.int64)
+    return lut
+
+
+def _bucket_histogram(row: np.ndarray) -> DegreeHistogram:
+    """Histogram the non-zero buckets of one Count-Min row."""
+    occupied = row[row > 0]
+    degrees, counts = np.unique(occupied, return_counts=True)
+    return DegreeHistogram._from_unique_trusted(degrees, counts)
+
+
+def _spread_histogram(packed: np.ndarray, cols: int) -> DegreeHistogram:
+    """Per-row linear-counting histogram of one packed spread bitmap."""
+    row_counts = _POPCOUNT8[packed].sum(axis=1)
+    occupied = row_counts[row_counts > 0]
+    estimates = _linear_count_lut(cols)[occupied]
+    degrees, counts = np.unique(estimates, return_counts=True)
+    return DegreeHistogram._from_unique_trusted(degrees, counts)
+
+
+class WindowSketch:
+    """Fixed-size mergeable summary of one (or several merged) windows.
+
+    Carries three stacked Count-Min tables (``cms``, shape
+    ``(3, depth, width)`` int64, kind order source/destination/link),
+    three HyperLogLog register banks (``hll``, shape ``(3, m)`` uint8)
+    and two packed spread bitmaps (``spread``, shape
+    ``(2, rows, cols // 8)`` uint8), plus the exact valid-packet count.
+    All payloads are plain numpy arrays, so the object pickles cheaply
+    across process backends and round-trips through result stores.
+    """
+
+    __slots__ = ("config", "n_packets", "cms", "hll", "spread")
+
+    def __init__(
+        self,
+        config: SketchConfig,
+        n_packets: int,
+        cms: np.ndarray,
+        hll: np.ndarray,
+        spread: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.n_packets = int(n_packets)
+        self.cms = cms
+        self.hll = hll
+        self.spread = spread
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, config: SketchConfig = DEFAULT_SKETCH_CONFIG) -> "WindowSketch":
+        """An all-zero sketch (the merge identity) under *config*."""
+        return cls(
+            config=config,
+            n_packets=0,
+            cms=np.zeros((len(_KINDS), config.depth, config.width), dtype=np.int64),
+            hll=np.zeros((len(_KINDS), config.hll_m), dtype=np.uint8),
+            spread=np.zeros(
+                (2, config.spread_rows, config.spread_cols // 8), dtype=np.uint8
+            ),
+        )
+
+    def copy(self) -> "WindowSketch":
+        """Deep copy (the streaming fold mutates its accumulator in place)."""
+        return WindowSketch(
+            config=self.config,
+            n_packets=self.n_packets,
+            cms=self.cms.copy(),
+            hll=self.hll.copy(),
+            spread=self.spread.copy(),
+        )
+
+    # -- monoid ------------------------------------------------------------
+
+    def merge_into(self, other: "WindowSketch") -> "WindowSketch":
+        """Fold *other* into ``self`` in place (commutative, associative)."""
+        if other.config != self.config:
+            raise ValueError("cannot merge sketches built under different configs")
+        self.n_packets += other.n_packets
+        self.cms += other.cms
+        np.maximum(self.hll, other.hll, out=self.hll)
+        np.bitwise_or(self.spread, other.spread, out=self.spread)
+        return self
+
+    def merge(self, other: "WindowSketch") -> "WindowSketch":
+        """A new sketch summarising the union of both packet multisets."""
+        return self.copy().merge_into(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowSketch):
+            return NotImplemented
+        return (
+            self.config == other.config
+            and self.n_packets == other.n_packets
+            and np.array_equal(self.cms, other.cms)
+            and np.array_equal(self.hll, other.hll)
+            and np.array_equal(self.spread, other.spread)
+        )
+
+    __hash__ = None  # mutable accumulator
+
+    def __getstate__(self):
+        """Pickle as a plain tuple of payloads (``__slots__`` has no dict)."""
+        return (self.config, self.n_packets, self.cms, self.hll, self.spread)
+
+    def __setstate__(self, state) -> None:
+        """Restore from :meth:`__getstate__` output."""
+        self.config, self.n_packets, self.cms, self.hll, self.spread = state
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes (the per-window memory footprint)."""
+        return int(self.cms.nbytes + self.hll.nbytes + self.spread.nbytes)
+
+    # -- estimates ---------------------------------------------------------
+
+    def distinct(self, kind: str) -> int:
+        """HyperLogLog distinct-count estimate for one key kind."""
+        return _hll_estimate(self.hll[_KINDS.index(kind)])
+
+    def aggregates(self) -> AggregateProperties:
+        """Estimated Table-I aggregates (valid-packet count is exact)."""
+        return AggregateProperties(
+            valid_packets=self.n_packets,
+            unique_links=self.distinct("link"),
+            unique_sources=self.distinct("source"),
+            unique_destinations=self.distinct("destination"),
+        )
+
+    def histograms(self) -> Dict[str, DegreeHistogram]:
+        """Estimated Figure-1 histograms for every supported quantity."""
+        cols = self.config.spread_cols
+        return {
+            "source_packets": _bucket_histogram(self.cms[_SRC, 0]),
+            "source_fanout": _spread_histogram(self.spread[_OUT], cols),
+            "link_packets": _bucket_histogram(self.cms[_LINK, 0]),
+            "destination_fanin": _spread_histogram(self.spread[_IN], cols),
+            "destination_packets": _bucket_histogram(self.cms[_DST, 0]),
+        }
+
+    def bounds(self) -> Dict[str, SketchBounds]:
+        """Per-quantity error bounds for every estimate this sketch serves."""
+        cfg = self.config
+        eps, delta = cfg.effective_epsilon, cfg.effective_delta
+        hll_rel = cfg.hll_relative_error
+        distinct = {kind: self.distinct(kind) for kind in _KINDS}
+
+        def cms_bound(kind: str) -> SketchBounds:
+            return SketchBounds(
+                estimator="count-min",
+                epsilon=eps,
+                delta=delta,
+                relative_error=_collision_deficit(distinct[kind], cfg.width),
+            )
+
+        def spread_bound(kind: str) -> SketchBounds:
+            deficit = _collision_deficit(distinct[kind], cfg.spread_rows)
+            return SketchBounds(
+                estimator="spread-bitmap",
+                epsilon=None,
+                delta=None,
+                relative_error=deficit + 1.0 / math.sqrt(cfg.spread_cols),
+            )
+
+        hll_bound = SketchBounds(
+            estimator="hyperloglog", epsilon=None, delta=None, relative_error=hll_rel
+        )
+        return {
+            "source_packets": cms_bound("source"),
+            "source_fanout": spread_bound("source"),
+            "link_packets": cms_bound("link"),
+            "destination_fanin": spread_bound("destination"),
+            "destination_packets": cms_bound("destination"),
+            "unique_links": hll_bound,
+            "unique_sources": hll_bound,
+            "unique_destinations": hll_bound,
+            "valid_packets": SketchBounds(
+                estimator="exact", epsilon=None, delta=None, relative_error=0.0
+            ),
+        }
+
+    # -- oracle support ----------------------------------------------------
+
+    def _keys(self, kind: str, src, dst=None) -> np.ndarray:
+        """Mixed uint64 keys for *kind*, hashed exactly as during the build."""
+        salts = self.config.salts()
+        if kind == "link":
+            if dst is None:
+                raise ValueError("link queries need both src and dst ids")
+            s = _as_u64(src) + np.uint64(salts[_SRC])
+            d = _as_u64(dst) + np.uint64(salts[_DST])
+            _splitmix_inplace(s, np.empty_like(s))
+            _splitmix_inplace(d, np.empty_like(d))
+            keys = s + d * np.uint64(_LINKMUL)
+            return _link_mix_inplace(keys, np.empty_like(keys))
+        index = _KINDS.index(kind)
+        ids = src if kind == "source" else (src if dst is None else dst)
+        keys = _as_u64(ids) + np.uint64(salts[index])
+        return _splitmix_inplace(keys, np.empty_like(keys))
+
+    def query(self, kind: str, src, dst=None) -> np.ndarray:
+        """Count-Min point estimates for the given ids (never undercounts).
+
+        *kind* is ``"source"``, ``"destination"`` or ``"link"``; for links
+        pass both endpoint arrays.  Returns int64 estimated packet counts,
+        each ``>= true count`` and ``<= true + effective_epsilon *
+        n_packets`` with probability ``>= 1 - effective_delta``.
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"unknown key kind {kind!r}; expected one of {_KINDS}")
+        keys = self._keys(kind, src, dst)
+        table = self.cms[_KINDS.index(kind)]
+        mask = np.uint64(self.config.width - 1)
+        h2 = ((keys >> np.uint64(32)) * np.uint64(_ALT)) | np.uint64(1)
+        estimate: Optional[np.ndarray] = None
+        for row in range(self.config.depth):
+            idx = (keys + np.uint64(row) * h2) & mask
+            values = table[row][idx]
+            estimate = values if estimate is None else np.minimum(estimate, values)
+        assert estimate is not None
+        return estimate
+
+
+def _accumulate(sketch: WindowSketch, srcu: np.ndarray, dstu: np.ndarray) -> None:
+    """One-pass block-wise sketch build over mixed-and-salted id columns."""
+    cfg = sketch.config
+    depth, width = cfg.depth, cfg.width
+    mask = np.uint64(width - 1)
+    m = cfg.hll_m
+    rows, cols = cfg.spread_rows, cfg.spread_cols
+    row_mask, col_mask = np.uint64(rows - 1), np.uint64(cols - 1)
+    salts = [np.uint64(s) for s in cfg.salts()]
+
+    # bit-presence scratch: HLL ranks land in (m, _RANK_BITS) planes,
+    # spread bits in (rows, cols) planes; both finalize after the loop.
+    hll_bits = np.zeros((len(_KINDS), m * _RANK_BITS), dtype=bool)
+    spread_bits = np.zeros((2, rows * cols), dtype=bool)
+
+    n = srcu.size
+    block = min(_BLOCK, max(n, 1))
+    sbuf = np.empty(block, dtype=np.uint64)
+    dbuf = np.empty(block, dtype=np.uint64)
+    kbuf = np.empty(block, dtype=np.uint64)
+    gbuf = np.empty(block, dtype=np.uint64)
+    ibuf = np.empty(block, dtype=np.uint64)
+    tbuf = np.empty(block, dtype=np.uint64)
+    fbuf = np.empty(block, dtype=np.float64)
+
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        blen = stop - start
+        s, d, k = sbuf[:blen], dbuf[:blen], kbuf[:blen]
+        g, ix, t, f = gbuf[:blen], ibuf[:blen], tbuf[:blen], fbuf[:blen]
+
+        np.add(srcu[start:stop], salts[_SRC], out=s)
+        _splitmix_inplace(s, t)
+        np.add(dstu[start:stop], salts[_DST], out=d)
+        _splitmix_inplace(d, t)
+        np.multiply(d, np.uint64(_LINKMUL), out=k)
+        k += s
+        _link_mix_inplace(k, t)
+
+        for index, keys in ((_SRC, s), (_DST, d), (_LINK, k)):
+            # Count-Min: Kirsch-Mitzenmacher double hashing, one bincount
+            # per row (a power-of-two width turns the modulo into a mask).
+            # Row 0 indexes with the bare key; later rows walk the key by
+            # the odd second hash h2 incrementally, two passes per row.
+            table = sketch.cms[index]
+            np.bitwise_and(keys, mask, out=ix)
+            table[0] += np.bincount(ix.view(np.int64), minlength=width)
+            if depth > 1:
+                # h2 must come from bits independent of the row-0 index:
+                # deriving it affinely from the full key (key * ALT | 1)
+                # makes h2 mod width a function of key mod width, so a
+                # row-0 collision would repeat in every row and depth
+                # would buy nothing.  The high 32 bits are independent of
+                # the low 12-20 index bits after splitmix finalization.
+                np.right_shift(keys, np.uint64(32), out=g)
+                g *= np.uint64(_ALT)
+                np.bitwise_or(g, np.uint64(1), out=g)
+                np.add(keys, g, out=t)
+                for row in range(1, depth):
+                    if row > 1:
+                        t += g
+                    np.bitwise_and(t, mask, out=ix)
+                    table[row] += np.bincount(ix.view(np.int64), minlength=width)
+            # HyperLogLog: register from the top hll_p bits, rank from the
+            # low 52 bits read off the float64 exponent field (exact below
+            # 2**53: biased exponent eb = 1023 + floor(log2 v), so
+            # rank = 1075 - eb, saturated at _RANK_CAP; v == 0 maps to
+            # eb == 0 and saturates too); scatter into the flat bit
+            # plane, max-reduce at finalize.
+            np.bitwise_and(keys, _MASK52, out=ix)
+            np.copyto(f, ix, casting="unsafe")
+            expo = f.view(np.uint64)
+            np.right_shift(expo, np.uint64(52), out=expo)
+            np.subtract(np.uint64(1075), expo, out=expo)
+            np.minimum(expo, np.uint64(_RANK_CAP), out=expo)
+            np.right_shift(keys, np.uint64(64 - cfg.hll_p), out=t)
+            np.left_shift(t, np.uint64(5), out=t)
+            t += expo
+            hll_bits[index][t.view(np.int64)] = True
+
+        # spread bitmaps: fan-out rows hash the source, fan-in rows the
+        # destination; column bits accumulate the neighbour set.
+        np.bitwise_and(s, row_mask, out=ix)
+        ix *= np.uint64(cols)
+        np.bitwise_and(d, col_mask, out=t)
+        ix += t
+        spread_bits[_OUT][ix.view(np.int64)] = True
+        np.bitwise_and(d, row_mask, out=ix)
+        ix *= np.uint64(cols)
+        np.bitwise_and(s, col_mask, out=t)
+        ix += t
+        spread_bits[_IN][ix.view(np.int64)] = True
+
+    sketch.n_packets += int(n)
+    ranks = np.arange(_RANK_BITS, dtype=np.uint8)
+    for index in range(len(_KINDS)):
+        planes = hll_bits[index].reshape(m, _RANK_BITS)
+        np.maximum(
+            sketch.hll[index], (planes * ranks).max(axis=1).astype(np.uint8),
+            out=sketch.hll[index],
+        )
+    packed = np.packbits(spread_bits.reshape(2, rows, cols), axis=2)
+    np.bitwise_or(sketch.spread, packed, out=sketch.spread)
+
+
+def build_sketch(
+    src, dst, config: SketchConfig = DEFAULT_SKETCH_CONFIG
+) -> WindowSketch:
+    """Sketch one window's valid ``(src, dst)`` columns in a single pass.
+
+    The result is deterministic in ``(src, dst, config)`` — the block
+    partition does not leak into the output because every accumulation is
+    an elementwise add or bit-or — so equal windows sketch bit-identically
+    on every backend.
+    """
+    srcu, dstu = _as_u64(src), _as_u64(dst)
+    if srcu.shape != dstu.shape:
+        raise ValueError("src and dst must have the same length")
+    sketch = WindowSketch.empty(config)
+    if srcu.size:
+        _accumulate(sketch, srcu, dstu)
+    return sketch
+
+
+def sketch_products(
+    src, dst, config: SketchConfig = DEFAULT_SKETCH_CONFIG
+) -> Tuple[AggregateProperties, Dict[str, DegreeHistogram], Mapping[str, SketchBounds], WindowSketch]:
+    """Sketch-tier counterpart of :func:`repro.streaming.kernel.fused_products`.
+
+    Returns ``(aggregates, histograms, bounds, sketch)`` where the first
+    two mirror the exact kernel's products (estimated, with the
+    valid-packet count exact) and *sketch* is the mergeable summary the
+    streaming fold combines across windows.
+    """
+    sketch = build_sketch(src, dst, config)
+    return sketch.aggregates(), sketch.histograms(), sketch.bounds(), sketch

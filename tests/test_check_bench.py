@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark-regression gate (``tools/check_bench.py``)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_bench  # noqa: E402
+
+
+def _artifact(seconds: float, *, usable_cpus: int = 1, nested: float = 0.5) -> dict:
+    return {
+        "benchmark": "demo",
+        "machine": {
+            "cpu_count": usable_cpus,
+            "usable_cpus": usable_cpus,
+            "platform": "Linux-test",
+            "machine": "x86_64",
+            "python": "3.11.7",
+            "numpy": "2.0.0",
+            "timing": "best-of-3",
+        },
+        "total_seconds": seconds,
+        "cases": {"a": {"seconds": nested, "rows": 3}},
+    }
+
+
+class TestTimingExtraction:
+    def test_finds_nested_seconds_leaves_only(self):
+        timings = dict(check_bench.iter_timings(_artifact(1.25)))
+        assert timings == {"total_seconds": 1.25, "cases.a.seconds": 0.5}
+
+    def test_lists_are_walked(self):
+        obj = {"runs": [{"seconds": 1.0}, {"seconds": 2.0, "n": 5}]}
+        assert dict(check_bench.iter_timings(obj)) == {
+            "runs[0].seconds": 1.0,
+            "runs[1].seconds": 2.0,
+        }
+
+
+class TestMachineGate:
+    def test_equal_machines_are_comparable(self):
+        assert check_bench.machine_mismatch(_artifact(1.0), _artifact(2.0)) is None
+
+    def test_differing_cpu_budget_skips_with_reason(self):
+        reason = check_bench.machine_mismatch(
+            _artifact(1.0, usable_cpus=8), _artifact(1.0, usable_cpus=1)
+        )
+        assert reason is not None and "cpu" in reason
+
+
+class TestCheckArtifact:
+    def _write(self, tmp_path, payload) -> Path:
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_within_budget_passes(self, tmp_path, monkeypatch):
+        path = self._write(tmp_path, _artifact(1.1))
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        status, messages = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "ok", messages
+
+    def test_regression_fails_and_names_the_metric(self, tmp_path, monkeypatch):
+        path = self._write(tmp_path, _artifact(5.0))
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        status, messages = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "fail"
+        assert any("total_seconds" in message for message in messages)
+        # the nested timing stayed flat, so it must not be reported
+        assert not any("cases.a.seconds" in message for message in messages)
+
+    def test_missing_baseline_skips(self, tmp_path, monkeypatch):
+        path = self._write(tmp_path, _artifact(1.0))
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: None)
+        status, messages = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "skip"
+        assert "baseline" in messages[0]
+
+    def test_machine_mismatch_skips_even_with_regression(self, tmp_path, monkeypatch):
+        path = self._write(tmp_path, _artifact(100.0, usable_cpus=2))
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        status, _ = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "skip"
+
+    def test_new_metric_without_baseline_counterpart_is_ignored(self, tmp_path, monkeypatch):
+        fresh = _artifact(1.0)
+        fresh["extra_seconds"] = 99.0
+        path = self._write(tmp_path, fresh)
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        status, _ = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "ok"
+
+
+class TestMainExitCodes:
+    def test_fail_exits_one(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(_artifact(9.0)), encoding="utf-8")
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        assert check_bench.main([str(path)]) == 1
+
+    def test_skip_exits_zero(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(_artifact(9.0)), encoding="utf-8")
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: None)
+        assert check_bench.main([str(path)]) == 0
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert check_bench.main([str(tmp_path / "BENCH_absent.json")]) == 2
+
+    def test_bad_gate_rejected(self):
+        with pytest.raises(SystemExit):
+            check_bench.main(["--max-regression", "0.9"])
+
+    def test_real_artifacts_parse_against_head(self):
+        """Smoke the git path on the repo's own artifacts (never a hard fail:
+        a dirty working tree or different box must skip, not flunk)."""
+        code = check_bench.main(["--max-regression", "1000.0"])
+        assert code == 0

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Guard the committed ``BENCH_*.json`` artifacts against silent regressions.
+
+Re-running a benchmark rewrites its artifact in place; this tool compares
+the freshly written files against a committed baseline (``git show
+<ref>:<name>`` by default) and fails when any timing regressed by more than
+``--max-regression``×.  Comparisons are only meaningful on the machine the
+baseline was recorded on, so when the machine metadata differs (another
+CPU budget, platform, or library stack — e.g. a different ``usable_cpus``)
+the artifact is **skipped with a reason**, never failed: CI runners and
+laptops must not flunk numbers a different box recorded.
+
+Usage::
+
+    # after re-running benchmarks, compare against the committed artifacts
+    python tools/check_bench.py
+    # explicit files / different baseline ref / tighter gate
+    python tools/check_bench.py BENCH_sketch.json --baseline-ref HEAD~1 --max-regression 1.5
+
+Exit status: 0 when nothing regressed (skips included), 1 on regression,
+2 on usage errors.  New artifacts with no committed baseline are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Iterator, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: machine-metadata fields that must match for timings to be comparable;
+#: ``timing`` (the measurement protocol) is compared too — best-of-3 vs
+#: single-shot numbers are different quantities, not a regression.
+MACHINE_FIELDS = ("cpu_count", "usable_cpus", "platform", "machine", "python", "numpy", "timing")
+
+
+def iter_timings(obj, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield every ``(path, value)`` timing leaf (keys containing ``seconds``)."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) and "seconds" in str(key):
+                yield path, float(value)
+            else:
+                yield from iter_timings(value, path)
+    elif isinstance(obj, list):
+        for index, value in enumerate(obj):
+            yield from iter_timings(value, f"{prefix}[{index}]")
+
+
+def machine_mismatch(fresh: dict, baseline: dict) -> str | None:
+    """A human-readable reason the two artifacts are not comparable, or None."""
+    fresh_machine = fresh.get("machine") or {}
+    base_machine = baseline.get("machine") or {}
+    for field in MACHINE_FIELDS:
+        mine, theirs = fresh_machine.get(field), base_machine.get(field)
+        if mine != theirs:
+            return f"machine metadata differs ({field}: {mine!r} vs baseline {theirs!r})"
+    return None
+
+
+def committed_baseline(name: str, ref: str) -> dict | None:
+    """The artifact as committed at *ref*, or ``None`` when absent there."""
+    result = subprocess.run(
+        ["git", "show", f"{ref}:{name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        return None
+    try:
+        return json.loads(result.stdout)
+    except ValueError:
+        return None
+
+
+def check_artifact(path: Path, ref: str, max_regression: float) -> Tuple[str, list[str]]:
+    """Compare one artifact; returns ``(status, messages)``.
+
+    *status* is ``"ok"``, ``"skip"`` or ``"fail"``; messages explain skips
+    and list each regressed timing.
+    """
+    fresh = json.loads(path.read_text(encoding="utf-8"))
+    baseline = committed_baseline(path.name, ref)
+    if baseline is None:
+        return "skip", [f"no committed baseline at {ref} (new artifact?)"]
+    reason = machine_mismatch(fresh, baseline)
+    if reason is not None:
+        return "skip", [reason]
+    base_timings = dict(iter_timings(baseline))
+    regressions = []
+    for metric, value in iter_timings(fresh):
+        base = base_timings.get(metric)
+        if base is None or base <= 0.0:
+            continue  # new metric, or too fast to gate meaningfully
+        ratio = value / base
+        if ratio > max_regression:
+            regressions.append(
+                f"{metric}: {value:.4f}s vs baseline {base:.4f}s ({ratio:.2f}x)"
+            )
+    if regressions:
+        return "fail", regressions
+    matched = sum(1 for metric in iter_timings(fresh) if metric[0] in base_timings)
+    return "ok", [f"{matched} timings within {max_regression:.2f}x of {ref}"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="*",
+                        help="BENCH_*.json files to check (default: all in the repo root)")
+    parser.add_argument("--baseline-ref", default="HEAD",
+                        help="git ref holding the committed baselines (default: HEAD)")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when any timing exceeds baseline by this factor "
+                             "(default: 2.0 — loose on purpose; wall clocks are noisy)")
+    args = parser.parse_args(argv)
+    if args.max_regression <= 1.0:
+        parser.error("--max-regression must be > 1.0")
+
+    paths = [Path(a) for a in args.artifacts] or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json artifacts found")
+        return 2
+    failed = False
+    for path in paths:
+        if not path.is_file():
+            print(f"error: {path} does not exist")
+            return 2
+        status, messages = check_artifact(path, args.baseline_ref, args.max_regression)
+        print(f"[{status.upper():4s}] {path.name}")
+        for message in messages:
+            print(f"       {message}")
+        failed = failed or status == "fail"
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
