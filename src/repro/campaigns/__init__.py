@@ -33,22 +33,39 @@ Quickstart::
     print(run.n_computed, run.n_cached)          # cold: (6, 0); warm: (0, 6)
     print(CampaignReport.from_store("results-store", "drift-sweep").render())
 
-CLI: ``repro campaign run|status|report``.
+Beyond one process, the store doubles as the fleet's queue: N workers
+(processes or machines on a shared filesystem) sweep one grid by claiming
+cells through atomic lease files — deterministic ``k/N`` sharding first,
+lease-guarded work-stealing for the tail, stale-lease takeover for dead
+workers — with no scheduler::
+
+    # worker k of N (run one such process per k):
+    run_campaign(campaign, "results-store", workers=N, worker_index=k)
+
+A cell whose analysis raises becomes a ``status="failed"`` outcome instead
+of aborting the sweep; every other cell still computes.
+
+CLI: ``repro campaign run|status|report`` (``run --workers N --worker-id
+k/N`` for fleets; ``status`` reports per-fleet lease state).
 """
 
-from repro.campaigns.report import CampaignReport
-from repro.campaigns.runner import CampaignRun, CellOutcome, run_campaign
+from repro.campaigns.report import CampaignReport, fleet_status_rows, lease_rows
+from repro.campaigns.runner import CampaignRun, CellOutcome, parse_worker_id, run_campaign
 from repro.campaigns.spec import Campaign, RunSpec, content_key, scenario_fingerprint
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import DEFAULT_LEASE_TTL_SECONDS, ResultStore
 
 __all__ = [
     "Campaign",
     "CampaignReport",
     "CampaignRun",
     "CellOutcome",
+    "DEFAULT_LEASE_TTL_SECONDS",
     "ResultStore",
     "RunSpec",
     "content_key",
+    "fleet_status_rows",
+    "lease_rows",
+    "parse_worker_id",
     "run_campaign",
     "scenario_fingerprint",
 ]

@@ -25,9 +25,90 @@ from math import sqrt
 from typing import Mapping, Union
 
 from repro.analysis.summary import format_table
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import DEFAULT_LEASE_TTL_SECONDS, ResultStore
 
-__all__ = ["CampaignReport"]
+__all__ = ["CampaignReport", "fleet_status_rows", "lease_rows"]
+
+
+def fleet_status_rows(
+    store: ResultStore, names: list[str], *, ttl: float = DEFAULT_LEASE_TTL_SECONDS
+) -> list[dict]:
+    """Per-campaign fleet progress: computed / leased-by-whom / stale / missing.
+
+    One row per campaign in *names*, merge-safe by construction: everything
+    here is read from the store (records and lease files) with no
+    interpolation, so any number of workers — and any number of concurrent
+    ``status`` invocations — see a consistent count-up.  ``stored`` uses the
+    record-level presence check (stat + JSON, no payload hashing) so status
+    stays O(cells); ``leased``/``stale`` age each missing key's lease
+    against *ttl*.
+    """
+    rows = []
+    for name in names:
+        manifest = store.load_campaign(name)
+        keys = {cell["key"] for cell in manifest["cells"]}
+        stored = leased = stale = 0
+        holders: set[str] = set()
+        for key in sorted(keys):
+            try:
+                store.record(key)
+            except KeyError:
+                pass
+            else:
+                stored += 1
+                continue
+            info = store.lease_info(key, ttl=ttl)
+            if info is None:
+                continue
+            if info["stale"]:
+                stale += 1
+            else:
+                leased += 1
+                holders.add(info["owner"])
+        rows.append(
+            {
+                "campaign": name,
+                "cells": len(manifest["cells"]),
+                "unique": len(keys),
+                "stored": stored,
+                "leased": leased,
+                "stale": stale,
+                "missing": len(keys) - stored - leased - stale,
+                "workers": " ".join(sorted(holders)),
+                "complete": stored == len(keys),
+            }
+        )
+    return rows
+
+
+def lease_rows(
+    store: ResultStore, *, ttl: float = DEFAULT_LEASE_TTL_SECONDS
+) -> list[dict]:
+    """One row per lease on disk: who holds what, and how stale it is.
+
+    The detail view behind the ``leased``/``stale`` counts of
+    :func:`fleet_status_rows`, for answering "which worker is stuck".  A
+    lease on an already-stored key renders as state ``done`` — its holder
+    persisted the cell but died before releasing (``gc_leases`` food).
+    """
+    rows = []
+    for info in store.iter_leases(ttl=ttl):
+        try:
+            store.record(info["key"])
+            state = "done"
+        except KeyError:
+            state = "stale" if info["stale"] else "live"
+        rows.append(
+            {
+                "key": info["key"][:12],
+                "owner": info["owner"],
+                "host": info["host"],
+                "pid": "" if info["pid"] is None else info["pid"],
+                "age_s": round(info["age"], 1),
+                "state": state,
+            }
+        )
+    return rows
 
 
 def _mean_std(values: list[float]) -> tuple[float, float]:

@@ -1,4 +1,4 @@
-"""Campaign execution: fan cells out, skip what the store already holds.
+"""Campaign execution: claim cells from the store, contain failures, converge.
 
 :func:`run_campaign` is deliberately thin glue between three existing
 pieces: the grid expansion (:class:`~repro.campaigns.spec.Campaign`), the
@@ -13,27 +13,65 @@ contract:
 * every completed cell is persisted atomically *as it finishes*, so killing
   a sweep loses at most the cells in flight — re-running the campaign
   resumes with exactly the missing cells;
+* a cell whose analysis **raises** becomes a ``status="failed"`` outcome —
+  the exception is contained, the rest of the grid still computes, and the
+  failure (with its error text) is reported instead of aborting the sweep;
 * run-level fan-out reuses the engine's
   :class:`~repro.streaming.parallel.ExecutionBackend` pool (``pool=
   "process"`` computes independent cells on worker processes), the same
   substrate PR 1 built for window-level fan-out.
+
+**Fleets.**  The store doubles as the scheduler: N ``run_campaign(...,
+workers=N, worker_index=k)`` processes — or N machines on a shared
+filesystem — sweep one grid with no coordinator.  Each worker claims a
+cell by taking its lease (``O_EXCL`` file create, see
+:mod:`repro.campaigns.store`), heartbeats while computing, and releases on
+completion.  The first pass is deterministically sharded (worker *k* owns
+every *k*-th missing unique key), so a healthy fleet never contends; the
+tail is **work-stealing** — each worker sweeps the remaining missing keys,
+taking over leases whose heartbeat went stale (dead workers) and waiting
+out live ones, until every key is stored or failed.  Convergence needs no
+messages: the store's atomic writes are the only shared state.
 """
 
 from __future__ import annotations
 
 import functools
+import os
+import socket
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro._util.logging import get_logger
 from repro.campaigns.spec import Campaign, RunSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import DEFAULT_LEASE_TTL_SECONDS, ResultStore
 from repro.scenarios.run import analyze_scenario
 
-__all__ = ["CellOutcome", "CampaignRun", "run_campaign"]
+__all__ = ["CellOutcome", "CampaignRun", "parse_worker_id", "run_campaign"]
 
 _logger = get_logger("campaigns.runner")
+
+
+def parse_worker_id(text: str) -> tuple[int, int]:
+    """Parse a ``"k/N"`` fleet-member id into ``(worker_index, workers)``.
+
+    ``k`` is 1-based: ``"2/4"`` is the second of four workers.  Raises
+    ``ValueError`` on anything that is not ``1 <= k <= N``.
+    """
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, total = int(head), int(tail)
+    except ValueError:
+        raise ValueError(
+            f"worker id must look like 'k/N' (e.g. '2/4'), got {text!r}"
+        ) from None
+    if total < 1 or not 1 <= index <= total:
+        raise ValueError(f"worker id {text!r} must satisfy 1 <= k <= N")
+    return index, total
 
 
 @dataclass(frozen=True)
@@ -43,9 +81,14 @@ class CellOutcome:
     ``status`` is one of ``"computed"`` (freshly analysed and stored),
     ``"cached"`` (complete in the store before the run — including cells
     deduplicated against an identical cell computed earlier in the same
-    run), or ``"skipped"`` (left for later by a ``max_cells`` cap).
-    ``seconds`` is the compute time for freshly computed cells and ``None``
-    otherwise; ``n_windows`` is ``None`` only for skipped cells.
+    run), ``"failed"`` (the cell's analysis raised; ``error`` holds the
+    one-line reason and nothing was stored), or ``"skipped"`` (left for
+    later by a ``max_cells`` cap).  ``seconds`` is the compute time for
+    freshly computed cells and ``None`` otherwise; ``n_windows`` is
+    ``None`` for skipped and failed cells — and for cached cells whose
+    stored record predates window-count recording (e.g. written by
+    :meth:`~repro.campaigns.store.ResultStore.get_or_compute` or an older
+    store), which render with an empty ``windows`` column.
     """
 
     key: str
@@ -57,6 +100,7 @@ class CellOutcome:
     mode: str = "exact"
     seconds: Optional[float] = None
     n_windows: Optional[int] = None
+    error: Optional[str] = None
 
     def as_row(self) -> dict:
         """Flat dict row for tables."""
@@ -97,6 +141,11 @@ class CampaignRun:
         return sum(1 for o in self.outcomes if o.status == "cached")
 
     @property
+    def n_failed(self) -> int:
+        """Cells whose analysis raised (contained, reported, not stored)."""
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
     def n_skipped(self) -> int:
         """Cells left uncomputed by a ``max_cells`` cap."""
         return sum(1 for o in self.outcomes if o.status == "skipped")
@@ -104,39 +153,122 @@ class CampaignRun:
     @property
     def complete(self) -> bool:
         """True when every grid cell now has a stored result."""
-        return self.n_skipped == 0
+        return self.n_skipped == 0 and self.n_failed == 0
+
+    @property
+    def failures(self) -> tuple[CellOutcome, ...]:
+        """The failed outcomes, in grid order (one per affected cell)."""
+        return tuple(o for o in self.outcomes if o.status == "failed")
+
+    def failure_lines(self) -> list[str]:
+        """One human-readable line per failed *unique* cell."""
+        lines = []
+        seen: set[str] = set()
+        for outcome in self.failures:
+            if outcome.key in seen:
+                continue
+            seen.add(outcome.key)
+            lines.append(
+                f"failed {outcome.scenario} seed={outcome.seed} nv={outcome.n_valid} "
+                f"mode={outcome.mode} [{outcome.key[:12]}]: {outcome.error}"
+            )
+        return lines
 
     def as_rows(self) -> list[dict]:
         """Per-cell outcome rows, in grid order."""
         return [outcome.as_row() for outcome in self.outcomes]
 
 
-def _compute_cell(spec: RunSpec, *, store_root: str) -> dict:
-    """Analyse one cell and persist it; runs in-process or on a pool worker."""
+def _fleet_owner(worker_index: int, workers: int) -> str:
+    """Stable identity of this fleet member, recorded in every lease it takes."""
+    return f"{socket.gethostname()}:{os.getpid()}:{worker_index}/{workers}"
+
+
+def _claim_and_compute_cell(
+    spec: RunSpec,
+    *,
+    store_root: str,
+    owner: str,
+    ttl: float,
+    heartbeat: float,
+    recompute: bool = False,
+) -> dict:
+    """Claim one cell's lease, analyse it, persist it, release the lease.
+
+    Runs in-process or on a pool worker; always returns a result dict,
+    never raises for a cell-level failure (that is the containment
+    contract — one bad cell must not sink the sweep):
+
+    * ``{"status": "cached"}`` — the cell appeared in the store before we
+      could claim it (another fleet member finished it);
+    * ``{"status": "lost"}`` — a live lease blocks the claim; the caller
+      retries later (work-stealing tail) or leaves it to its holder;
+    * ``{"status": "computed", "seconds", "n_windows"}`` — the happy path;
+    * ``{"status": "failed", "error"}`` — the analysis raised; the lease is
+      released so the failure is observable fleet-wide (another worker may
+      retry and fail the same way — each run reports its own attempt).
+
+    A daemon thread refreshes the lease heartbeat every *heartbeat*
+    seconds while the analysis runs, so long cells never read as stale.
+    ``KeyboardInterrupt``/``SystemExit`` still propagate: killing a sweep
+    is not a cell failure, and the ``finally`` releases the claim.
+    """
     store = ResultStore(store_root)
-    started = time.perf_counter()
-    run = analyze_scenario(
-        spec.scenario,
-        spec.n_valid,
-        seed=spec.seed,
-        quantities=spec.quantities,
-        backend=spec.backend,
-        n_workers=spec.n_workers,
-        chunk_packets=spec.chunk_packets,
-        block_packets=spec.block_packets,
-        keep_windows=False,
-        detectors=spec.detectors,
-        mode=spec.mode,
-        sketch=spec.sketch,
-    )
-    seconds = time.perf_counter() - started
-    n_windows = run.analysis.n_windows
-    store.put(
-        spec.key,
-        run,
-        meta={"spec": spec.as_manifest(), "seconds": round(seconds, 6), "n_windows": n_windows},
-    )
-    return {"key": spec.key, "seconds": seconds, "n_windows": n_windows}
+    if not recompute and spec.key in store:
+        return {"key": spec.key, "status": "cached"}
+    if not store.acquire_lease(spec.key, owner, ttl=ttl):
+        info = store.lease_info(spec.key, ttl=ttl)
+        return {"key": spec.key, "status": "lost",
+                "holder": None if info is None else info["owner"]}
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat):
+            if not store.refresh_lease(spec.key, owner):
+                return  # lease lost (taken over); compute finishes idempotently
+
+    beater = threading.Thread(target=_beat, name="lease-heartbeat", daemon=True)
+    beater.start()
+    try:
+        # re-check under the lease: the previous holder may have persisted
+        # the cell and died before releasing
+        if not recompute and spec.key in store:
+            return {"key": spec.key, "status": "cached"}
+        started = time.perf_counter()
+        try:
+            run = analyze_scenario(
+                spec.scenario,
+                spec.n_valid,
+                seed=spec.seed,
+                quantities=spec.quantities,
+                backend=spec.backend,
+                n_workers=spec.n_workers,
+                chunk_packets=spec.chunk_packets,
+                block_packets=spec.block_packets,
+                keep_windows=False,
+                detectors=spec.detectors,
+                mode=spec.mode,
+                sketch=spec.sketch,
+            )
+            seconds = time.perf_counter() - started
+            n_windows = run.analysis.n_windows
+            store.put(
+                spec.key,
+                run,
+                meta={"spec": spec.as_manifest(), "seconds": round(seconds, 6),
+                      "n_windows": n_windows},
+            )
+        except Exception as error:
+            seconds = time.perf_counter() - started
+            message = f"{type(error).__name__}: {error}"
+            _logger.warning("cell %s failed after %.3fs: %s", spec.key[:12], seconds, message)
+            return {"key": spec.key, "status": "failed", "error": message,
+                    "seconds": seconds}
+        return {"key": spec.key, "status": "computed", "seconds": seconds,
+                "n_windows": n_windows}
+    finally:
+        stop.set()
+        store.release_lease(spec.key, owner)
 
 
 def run_campaign(
@@ -147,6 +279,11 @@ def run_campaign(
     pool_workers: int | None = None,
     max_cells: int | None = None,
     recompute: bool = False,
+    workers: int = 1,
+    worker_index: int = 1,
+    lease_ttl: float = DEFAULT_LEASE_TTL_SECONDS,
+    heartbeat_seconds: float | None = None,
+    poll_seconds: float | None = None,
 ) -> CampaignRun:
     """Run (or resume) a campaign against a result store.
 
@@ -166,19 +303,36 @@ def run_campaign(
     pool_workers:
         Worker count for ``pool="process"``.
     max_cells:
-        Compute at most this many missing cells, leaving the rest
+        Attempt at most this many missing cells, leaving the rest
         ``"skipped"`` — for smoke runs and partial sweeps; re-running the
         campaign picks up exactly the cells left behind.
     recompute:
         Ignore existing store entries and recompute every cell (the cache
         escape hatch; stored results are replaced).  Incompatible with
         ``max_cells`` — a capped recompute could never advance past the
-        first cells.
+        first cells — and with fleets (``workers > 1``), whose convergence
+        test is precisely "is the key stored yet".
+    workers / worker_index:
+        Fleet shape: this process is worker ``worker_index`` (1-based) of
+        ``workers`` sweeping the same grid against the same store.  The
+        default ``1/1`` is a fleet of one and behaves exactly like the
+        historical single-process sweep.  Fleet members coordinate purely
+        through store leases; see the module docstring.
+    lease_ttl:
+        Seconds without a heartbeat after which a lease counts as stale
+        and may be taken over.  Every member of one fleet should use the
+        same value.
+    heartbeat_seconds:
+        Heartbeat period while computing a cell (default ``lease_ttl / 3``).
+    poll_seconds:
+        How long a worker with nothing claimable sleeps before re-checking
+        the store (default ``min(1, lease_ttl / 4)``).
 
     Returns
     -------
     CampaignRun
         One :class:`CellOutcome` per grid cell, in deterministic grid order.
+        ``status="failed"`` outcomes carry the contained per-cell error.
     """
     from repro.streaming.parallel import get_backend
 
@@ -186,26 +340,51 @@ def run_campaign(
         # a capped recompute can never advance: the deterministic todo order
         # would re-select the same first cells on every invocation
         raise ValueError("recompute=True cannot be combined with max_cells")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not 1 <= worker_index <= workers:
+        raise ValueError(
+            f"worker_index must be in 1..workers (= {workers}), got {worker_index}"
+        )
+    if recompute and workers > 1:
+        raise ValueError(
+            "recompute=True cannot run as a fleet: workers converge on 'key is "
+            "stored', which recompute deliberately ignores — recompute with a "
+            "single worker instead"
+        )
+    if lease_ttl <= 0:
+        raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+    heartbeat = lease_ttl / 3 if heartbeat_seconds is None else heartbeat_seconds
+    if not 0 < heartbeat < lease_ttl:
+        raise ValueError(
+            f"heartbeat_seconds must be in (0, lease_ttl); got {heartbeat} vs ttl {lease_ttl}"
+        )
+    poll = min(1.0, lease_ttl / 4) if poll_seconds is None else poll_seconds
+    if poll <= 0:
+        raise ValueError(f"poll_seconds must be > 0, got {poll}")
+
     store = store if isinstance(store, ResultStore) else ResultStore(store)
     cells = campaign.cells()
 
-    todo: list[RunSpec] = []
-    assigned: set[str] = set()
+    # one spec per unique key, in grid order (first appearance wins)
+    unique_specs: list[RunSpec] = []
+    seen_keys: set[str] = set()
     for spec in cells:
-        if spec.key in assigned:
-            continue
-        if recompute or spec.key not in store:
-            todo.append(spec)
-            assigned.add(spec.key)
-    if max_cells is not None:
-        todo = todo[: max(0, int(max_cells))]
-        assigned = {spec.key for spec in todo}
+        if spec.key not in seen_keys:
+            unique_specs.append(spec)
+            seen_keys.add(spec.key)
+    if recompute:
+        targets = list(unique_specs)
+    else:
+        targets = [spec for spec in unique_specs if spec.key not in store]
+
+    budget = None if max_cells is None else max(0, int(max_cells))
 
     # pool=None means serial, full stop — never the historical "process when
     # n_workers > 1" inference of get_backend(None, ...); fan-out across
     # processes must be an explicit pool="process" choice
     pool_backend = get_backend(pool or "serial", n_workers=pool_workers)
-    if pool_backend.name == "process" and any(spec.backend == "process" for spec in todo):
+    if pool_backend.name == "process" and any(spec.backend == "process" for spec in targets):
         raise ValueError(
             "cells with backend='process' cannot run under pool='process' "
             "(pool workers may not spawn process pools); use serial or "
@@ -230,18 +409,76 @@ def run_campaign(
                 campaign.name, store.root, len(old_keys), len(new_keys),
             )
     store.save_campaign(campaign.as_manifest())
+    owner = _fleet_owner(worker_index, workers)
     _logger.info(
-        "campaign %r: %d cells, %d to compute (%s pool)",
-        campaign.name, len(cells), len(todo), pool_backend.name,
+        "campaign %r: %d cells, %d missing (%s pool, worker %d/%d)",
+        campaign.name, len(cells), len(targets), pool_backend.name,
+        worker_index, workers,
     )
 
-    worker = functools.partial(_compute_cell, store_root=str(store.root))
-    computed: dict[str, dict] = {}
-    for result in pool_backend.map(worker, todo):
-        computed[result["key"]] = result
-        _logger.debug("computed cell %s in %.3fs", result["key"][:12], result["seconds"])
+    claim = functools.partial(
+        _claim_and_compute_cell,
+        store_root=str(store.root),
+        owner=owner,
+        ttl=lease_ttl,
+        heartbeat=heartbeat,
+        recompute=recompute,
+    )
+    # key -> terminal local result ("computed" or "failed")
+    attempted: dict[str, dict] = {}
+
+    def run_round(specs: list[RunSpec]) -> bool:
+        """Claim-and-compute *specs*; True when any cell reached a terminal state."""
+        progress = False
+        for result in pool_backend.map(claim, specs):
+            if result["status"] in ("computed", "failed"):
+                attempted[result["key"]] = result
+                progress = True
+                _logger.debug(
+                    "%s cell %s in %.3fs", result["status"], result["key"][:12],
+                    result.get("seconds", 0.0),
+                )
+            elif result["status"] == "cached":
+                progress = True  # another fleet member stored it — the grid advanced
+        return progress
+
+    def still_missing(specs: list[RunSpec]) -> list[RunSpec]:
+        remaining = [s for s in specs if s.key not in attempted]
+        if recompute:
+            return remaining
+        return [s for s in remaining if s.key not in store]
+
+    def capped(specs: list[RunSpec]) -> list[RunSpec]:
+        if budget is None:
+            return specs
+        return specs[: max(0, budget - len(attempted))]
+
+    # first pass: deterministic k/N sharding — a healthy fleet partitions the
+    # missing keys without ever contending on a lease
+    shard = [spec for i, spec in enumerate(targets) if i % workers == worker_index - 1]
+    run_round(capped(still_missing(shard)))
+
+    # work-stealing tail: sweep every key still missing (other workers'
+    # shards included), taking over stale leases, until the grid converges.
+    # A round with no progress means every remaining key is leased to a
+    # live worker — sleep one poll and look again; its result will land in
+    # the store (cached) or its lease will go stale (takeover).
+    while True:
+        remaining = capped(still_missing(targets))
+        if not remaining:
+            break
+        if not run_round(remaining):
+            time.sleep(poll)
+
+    # tidy the lease area on the way out: leases whose key is now stored
+    # (holder died between put and release) and TTL-stale leftovers; live
+    # claims of other fleet members are untouched
+    collected = store.gc_leases(ttl=lease_ttl)
+    if collected:
+        _logger.info("collected %d leftover lease(s) at sweep end", collected)
 
     outcomes = []
+    first_computed: set[str] = set()
     for spec in cells:
         key = spec.key
         common = {
@@ -252,17 +489,23 @@ def run_campaign(
             "mode": spec.mode,
             "backend": spec.backend,
         }
-        if key in computed and key in assigned:
-            fresh = computed[key]
+        local = attempted.get(key)
+        if local is not None and local["status"] == "failed":
+            outcomes.append(
+                CellOutcome(status="failed", seconds=local.get("seconds"),
+                            error=local["error"], **common)
+            )
+        elif local is not None and key not in first_computed:
+            first_computed.add(key)
             outcomes.append(
                 CellOutcome(
-                    status="computed", seconds=fresh["seconds"],
-                    n_windows=fresh["n_windows"], **common,
+                    status="computed", seconds=local["seconds"],
+                    n_windows=local["n_windows"], **common,
                 )
             )
-            # only the first cell of a key is "computed"; duplicates are hits
-            assigned.discard(key)
         elif key in store:
+            # duplicates of a computed key, warm hits, and cells another
+            # fleet member computed all resolve here
             record = store.record(key)
             outcomes.append(
                 CellOutcome(status="cached", n_windows=record.get("n_windows"), **common)

@@ -8,6 +8,7 @@ store/
   store.json                  # store-format marker
   objects/<kk>/<key>.pkl.gz   # pickled payload, reproducible gzip (mtime=0)
   runs/<kk>/<key>.json        # metadata record: spec, backend, timing, version
+  leases/<kk>/<key>.lease     # in-flight claims of a worker fleet (JSON + mtime heartbeat)
   campaigns/<name>.json       # campaign manifests (what `status`/`report` read)
 ```
 
@@ -26,15 +27,32 @@ cell is simply recomputed, never crashed on.
 Concurrent writers (the campaign runner's worker pool) are safe by
 construction: distinct cells touch distinct paths, and identical cells
 replace each other with identical content.
+
+The ``leases/`` area makes the store double as a **work queue** for
+multi-process campaign fleets: a worker claims a missing cell by creating
+its lease file with ``O_CREAT | O_EXCL`` (atomic on POSIX filesystems and
+on NFS v3+, the shared-filesystem case fleets care about), keeps the claim
+alive by bumping the file's mtime (:meth:`ResultStore.refresh_lease`), and
+releases it after persisting the cell.  A lease whose heartbeat is older
+than the fleet's TTL belongs to a dead worker and may be **taken over**
+(:meth:`ResultStore.acquire_lease` replaces it).  Takeover is
+last-writer-wins, so two workers racing for the same stale lease can, in
+the worst case, both compute the cell — a *lost-lease race*.  That costs
+duplicate work, never correctness: both write byte-identical content under
+the same key.  Leases are advisory for readers; presence of a cell is
+always decided by payload + record alone.
 """
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import hashlib
 import io
+import json
 import os
 import pickle
+import socket
 import tempfile
 import time
 from pathlib import Path
@@ -44,10 +62,15 @@ from repro._util.logging import get_logger
 from repro.campaigns.spec import content_key
 from repro.streaming.trace_io import read_json, write_json_atomic
 
-__all__ = ["STORE_FORMAT_VERSION", "ResultStore"]
+__all__ = ["DEFAULT_LEASE_TTL_SECONDS", "STORE_FORMAT_VERSION", "ResultStore"]
 
 #: On-disk store layout version, recorded in ``store.json``.
 STORE_FORMAT_VERSION = 1
+
+#: Default lease heartbeat TTL: a lease whose mtime is older than this is
+#: presumed to belong to a dead worker and may be taken over.  Heartbeats
+#: fire every ``ttl / 3``, so a healthy worker survives two missed beats.
+DEFAULT_LEASE_TTL_SECONDS = 30.0
 
 _logger = get_logger("campaigns.store")
 
@@ -86,6 +109,7 @@ class ResultStore:
         # the same key write identical bytes, so a pass never goes stale
         self._verified: set = set()
         self._prune_orphaned_temp_files()
+        self._prune_ancient_leases()
 
     #: Temp files younger than this are left alone at store open — they may
     #: belong to a concurrent writer mid-put; older ones are debris from a
@@ -95,7 +119,7 @@ class ResultStore:
     def _prune_orphaned_temp_files(self) -> None:
         """Remove stale ``*.tmp`` files a hard-killed writer left behind."""
         cutoff = time.time() - self._TEMP_MAX_AGE_SECONDS
-        for pattern in ("objects/*/*.tmp", "runs/*/*.tmp", "campaigns/*.tmp", "*.tmp"):
+        for pattern in ("objects/*/*.tmp", "runs/*/*.tmp", "leases/*/*.tmp", "campaigns/*.tmp", "*.tmp"):
             for orphan in self.root.glob(pattern):
                 try:
                     if orphan.stat().st_mtime < cutoff:
@@ -104,6 +128,24 @@ class ResultStore:
                 except OSError:  # pragma: no cover - racing writer finished/cleaned
                     continue
 
+    def _prune_ancient_leases(self) -> None:
+        """Remove lease files whose heartbeat stopped over an hour ago.
+
+        This is debris collection, not takeover: no sane fleet runs a
+        heartbeat TTL anywhere near :data:`_TEMP_MAX_AGE_SECONDS`, so a
+        lease this old can only belong to a worker killed long before this
+        store was opened.  TTL-scale staleness is handled where it matters,
+        in :meth:`acquire_lease` (takeover) and :meth:`gc_leases`.
+        """
+        cutoff = time.time() - self._TEMP_MAX_AGE_SECONDS
+        for lease in self.root.glob("leases/*/*.lease"):
+            try:
+                if lease.stat().st_mtime < cutoff:
+                    lease.unlink()
+                    _logger.debug("pruned ancient lease %s", lease)
+            except OSError:  # pragma: no cover - racing worker released it
+                continue
+
     # -- paths ---------------------------------------------------------------
 
     def _object_path(self, key: str) -> Path:
@@ -111,6 +153,9 @@ class ResultStore:
 
     def _record_path(self, key: str) -> Path:
         return self.root / "runs" / key[:2] / f"{key}.json"
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "leases" / key[:2] / f"{key}.lease"
 
     def campaign_path(self, name: str) -> Path:
         """Path of one campaign's manifest inside the store."""
@@ -273,7 +318,11 @@ class ResultStore:
                 handle.write(payload_bytes)
             os.replace(handle.name, path)
         except BaseException:
-            os.unlink(handle.name)
+            # the temp file may already be gone (os.replace consumed it
+            # before failing, or a concurrent GC swept it); a failing unlink
+            # must never mask the exception that actually broke the put
+            with contextlib.suppress(OSError):
+                os.unlink(handle.name)
             raise
         write_json_atomic(
             self._record_path(key),
@@ -304,6 +353,176 @@ class ResultStore:
         seconds = time.perf_counter() - started
         self.put(key, payload, meta={"seconds": round(seconds, 6), **dict(meta or {})})
         return payload, False
+
+    # -- leases: the store as a work queue --------------------------------------
+
+    def acquire_lease(
+        self, key: str, owner: str, *, ttl: float = DEFAULT_LEASE_TTL_SECONDS
+    ) -> bool:
+        """Claim *key* for *owner*; True when this worker now holds the lease.
+
+        The happy path is one atomic ``O_CREAT | O_EXCL`` create: exactly
+        one worker of a fleet wins a free key.  A lease already on disk
+        blocks the claim while its heartbeat (file mtime) is younger than
+        *ttl* seconds; once older, the holder is presumed dead and the
+        lease is **taken over** via temp-file + ``os.replace``.  Takeover
+        is last-writer-wins and re-verified by ownership read-back, so two
+        workers racing for the same stale lease resolve to (at most) one
+        holder — modulo the documented lost-lease race, which duplicates
+        work but never corrupts the store.
+        """
+        path = self._lease_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = self._lease_payload(key, owner)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            info = self.lease_info(key, ttl=ttl)
+            if info is None:
+                # released between our existence check and read: retry the
+                # exclusive create once rather than recursing forever
+                try:
+                    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    return False
+            elif info["stale"]:
+                _logger.info(
+                    "taking over stale lease on %s (held by %s, heartbeat %.1fs ago)",
+                    key[:12], info["owner"], info["age"],
+                )
+                handle = tempfile.NamedTemporaryFile(
+                    "w", encoding="utf-8", dir=path.parent,
+                    prefix=path.name + ".", suffix=".tmp", delete=False,
+                )
+                try:
+                    with handle:
+                        handle.write(payload)
+                    os.replace(handle.name, path)
+                except BaseException:
+                    with contextlib.suppress(OSError):
+                        os.unlink(handle.name)
+                    raise
+                # read back: if another stealer replaced after us, they won
+                return self.refresh_lease(key, owner)
+            else:
+                return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return True
+
+    @staticmethod
+    def _lease_payload(key: str, owner: str) -> str:
+        return json.dumps(
+            {
+                "key": key,
+                "owner": owner,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "acquired_at": round(time.time(), 3),
+            },
+            sort_keys=True,
+        )
+
+    def refresh_lease(self, key: str, owner: str) -> bool:
+        """Bump the heartbeat of *owner*'s lease on *key*; False if lost.
+
+        A worker heartbeats while computing so its claim never goes stale;
+        a ``False`` return means the lease vanished or was taken over —
+        the worker may finish its (now possibly duplicated) compute, since
+        store writes are idempotent, but must not assume exclusivity.
+        """
+        path = self._lease_path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lease = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(lease, dict) or lease.get("owner") != owner:
+            return False
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - released in the utime window
+            return False
+        return True
+
+    def release_lease(self, key: str, owner: str) -> bool:
+        """Drop *owner*'s lease on *key*; a foreign or absent lease is left alone."""
+        path = self._lease_path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lease = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(lease, dict) or lease.get("owner") != owner:
+            return False
+        with contextlib.suppress(OSError):
+            path.unlink()
+        return True
+
+    def lease_info(
+        self, key: str, *, ttl: float = DEFAULT_LEASE_TTL_SECONDS
+    ) -> dict | None:
+        """The live lease on *key*, or ``None`` when the key is unclaimed.
+
+        Returns ``{"key", "owner", "pid", "host", "age", "stale"}`` where
+        ``age`` is seconds since the last heartbeat and ``stale`` is the
+        *ttl* verdict.  A lease file that cannot be parsed (torn takeover,
+        dying disk) still reports, with ``owner="<unreadable>"`` — it
+        occupies the claim slot, so fleets must be able to see and age it.
+        """
+        path = self._lease_path(key)
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return None
+        try:
+            with open(path, encoding="utf-8") as handle:
+                lease = json.load(handle)
+            if not isinstance(lease, dict):
+                raise ValueError("lease is not an object")
+        except (OSError, ValueError):
+            lease = {}
+        return {
+            "key": key,
+            "owner": str(lease.get("owner", "<unreadable>")),
+            "pid": lease.get("pid"),
+            "host": str(lease.get("host", "")),
+            "age": max(0.0, age),
+            "stale": age > ttl,
+        }
+
+    def iter_leases(
+        self, *, ttl: float = DEFAULT_LEASE_TTL_SECONDS
+    ) -> Iterator[dict]:
+        """Every lease currently on disk as :meth:`lease_info` dicts, sorted by key."""
+        for path in sorted(self.root.glob("leases/*/*.lease")):
+            info = self.lease_info(path.name[: -len(".lease")], ttl=ttl)
+            if info is not None:
+                yield info
+
+    def gc_leases(self, *, ttl: float = DEFAULT_LEASE_TTL_SECONDS) -> int:
+        """Sweep leases that no longer guard anything; returns the count removed.
+
+        Two kinds are debris: a lease whose key is already **stored** (the
+        worker persisted the cell, then died before releasing), and a lease
+        whose heartbeat is **stale** by *ttl* (the worker died mid-compute —
+        a resuming sweep would take it over anyway, this just tidies
+        eagerly).  Fresh leases on missing keys are live claims and are
+        never touched, so a fleet member can GC at exit without disturbing
+        the rest of the fleet.
+        """
+        removed = 0
+        for info in list(self.iter_leases(ttl=ttl)):
+            if info["stale"] or info["key"] in self:
+                with contextlib.suppress(OSError):
+                    self._lease_path(info["key"]).unlink()
+                    removed += 1
+                    _logger.debug(
+                        "collected %s lease on %s (owner %s)",
+                        "stale" if info["stale"] else "released-late",
+                        info["key"][:12], info["owner"],
+                    )
+        return removed
 
     # -- cached experiment tables ---------------------------------------------
 

@@ -293,14 +293,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "re-running resumes the rest)")
     camp_run.add_argument("--recompute", action="store_true",
                           help="ignore stored results and recompute every cell")
+    camp_run.add_argument("--workers", type=int, default=1,
+                          help="fleet size N: how many 'campaign run' processes sweep this "
+                               "grid against the shared store (default 1; start one process "
+                               "per worker with matching --worker-id)")
+    camp_run.add_argument("--worker-id", default=None, metavar="K/N",
+                          help="this process's fleet identity, e.g. 2/4 (default 1/N); "
+                               "workers shard the missing cells deterministically and "
+                               "steal each other's stale leases")
+    camp_run.add_argument("--lease-ttl", type=float, default=None, metavar="SECONDS",
+                          help="heartbeat TTL after which a cell lease counts as stale and "
+                               "may be taken over (default 30; use one value per fleet)")
+    camp_run.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                          help="lease heartbeat period while computing (default: TTL / 3)")
     camp_run.set_defaults(func=_cmd_campaign_run)
 
     camp_status = camp_sub.add_parser(
-        "status", help="show completed/missing cell counts for stored campaigns"
+        "status", help="show fleet progress (stored/leased/stale/missing) for stored campaigns"
     )
     camp_status.add_argument("--store", required=True, help="result-store directory")
     camp_status.add_argument("name", nargs="?", default=None,
                              help="campaign name (default: summarize every campaign)")
+    camp_status.add_argument("--lease-ttl", type=float, default=None, metavar="SECONDS",
+                             help="staleness threshold used to age leases (default 30; "
+                                  "match the fleet's --lease-ttl)")
+    camp_status.add_argument("--check", action="store_true",
+                             help="exit non-zero unless every campaign is complete and no "
+                                  "lease is outstanding (for CI smokes and fleet scripts)")
     camp_status.set_defaults(func=_cmd_campaign_status)
 
     camp_report = camp_sub.add_parser(
@@ -622,9 +641,18 @@ def _cmd_detect_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaigns import Campaign, run_campaign
+    from repro.campaigns import DEFAULT_LEASE_TTL_SECONDS, Campaign, parse_worker_id, run_campaign
 
     try:
+        if args.worker_id is not None:
+            worker_index, workers = parse_worker_id(args.worker_id)
+            if args.workers not in (1, workers):
+                raise ValueError(
+                    f"--worker-id {args.worker_id} names a fleet of {workers} "
+                    f"but --workers says {args.workers}"
+                )
+        else:
+            worker_index, workers = 1, args.workers
         campaign = Campaign(
             args.name,
             scenarios=tuple(args.scenarios),
@@ -640,8 +668,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}")
         return 2
+    fleet = f" (worker {worker_index}/{workers})" if workers > 1 else ""
     print(f"campaign {campaign.name!r}: {campaign.n_cells} cells "
-          f"({len(campaign.unique_keys())} unique results) -> store {args.store}")
+          f"({len(campaign.unique_keys())} unique results) -> store {args.store}{fleet}")
     try:
         run = run_campaign(
             campaign,
@@ -650,13 +679,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             pool_workers=args.pool_workers,
             max_cells=args.max_cells,
             recompute=args.recompute,
+            workers=workers,
+            worker_index=worker_index,
+            lease_ttl=DEFAULT_LEASE_TTL_SECONDS if args.lease_ttl is None else args.lease_ttl,
+            heartbeat_seconds=args.heartbeat,
         )
     except ValueError as error:
         print(f"error: {error.args[0]}")
         return 2
     print(format_table(run.as_rows()))
-    print(f"\ncomputed {run.n_computed}, cached {run.n_cached}, skipped {run.n_skipped}"
-          + ("" if run.complete else " — re-run to resume the skipped cells"))
+    print(f"\ncomputed {run.n_computed}, cached {run.n_cached}, "
+          f"failed {run.n_failed}, skipped {run.n_skipped}"
+          + ("" if run.n_skipped == 0 else " — re-run to resume the skipped cells"))
+    if run.n_failed:
+        for line in run.failure_lines():
+            print(line)
+        return 1
     return 0
 
 
@@ -670,46 +708,39 @@ def _open_store_readonly(path: str):
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaigns import DEFAULT_LEASE_TTL_SECONDS, fleet_status_rows, lease_rows
+
     try:
         store = _open_store_readonly(args.store)
     except KeyError as error:
         print(f"error: {error.args[0]}")
         return 2
+    ttl = DEFAULT_LEASE_TTL_SECONDS if args.lease_ttl is None else args.lease_ttl
     names = [args.name] if args.name is not None else list(store.campaign_names())
     if not names:
         print(f"no campaigns recorded in store {store.root}")
         return 0
-    rows = []
-    for name in names:
-        try:
-            manifest = store.load_campaign(name)
-        except KeyError as error:
-            print(f"error: {error.args[0]}")
-            return 2
-        keys = {cell["key"] for cell in manifest["cells"]}
-
-        def present(key: str) -> bool:
-            # record-level check (stat + JSON, no payload hashing) so status
-            # stays O(cells), not O(store bytes); full digest verification
-            # happens where payloads are actually read (resume, report)
-            try:
-                store.record(key)
-            except KeyError:
-                return False
-            return True
-
-        stored = sum(1 for key in keys if present(key))
-        rows.append(
-            {
-                "campaign": name,
-                "cells": len(manifest["cells"]),
-                "unique": len(keys),
-                "stored": stored,
-                "missing": len(keys) - stored,
-                "complete": stored == len(keys),
-            }
-        )
+    try:
+        rows = fleet_status_rows(store, names, ttl=ttl)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
     print(format_table(rows))
+    leases = lease_rows(store, ttl=ttl)
+    if leases:
+        print("\noutstanding leases:")
+        print(format_table(leases))
+    if args.check:
+        incomplete = [row["campaign"] for row in rows if not row["complete"]]
+        problems = []
+        if incomplete:
+            problems.append(f"incomplete campaign(s): {', '.join(incomplete)}")
+        if leases:
+            problems.append(f"{len(leases)} outstanding lease(s)")
+        if problems:
+            print("check failed: " + "; ".join(problems))
+            return 1
+        print("check passed: all campaigns complete, no outstanding leases")
     return 0
 
 

@@ -20,6 +20,7 @@ load-then-chunk, since ``.npz`` archives are not seekable per-row).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -63,7 +64,11 @@ def write_json_atomic(path: Union[str, os.PathLike], payload) -> Path:
             json.dump(payload, handle, indent=1, sort_keys=False)
         os.replace(handle.name, path)
     except BaseException:
-        os.unlink(handle.name)
+        # the temp file may already be gone (os.replace consumed it before
+        # failing); the unlink is best-effort cleanup and must never mask
+        # the exception that broke the write
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
         raise
     return path
 

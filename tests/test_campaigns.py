@@ -424,6 +424,43 @@ class TestRunCampaign:
             run_campaign(campaign, tmp_path / "store", pool="process")
         assert ResultStore(tmp_path / "store").campaign_names() == ()
 
+    def test_cached_record_without_n_windows_reports_none(self, tmp_path):
+        """The CellOutcome contract: a cached cell whose stored record
+        predates window-count recording (older store, or written by
+        ``get_or_compute``) carries ``n_windows=None`` and renders with an
+        empty windows column — it must not crash or invent a count."""
+        from repro.streaming.trace_io import write_json_atomic
+
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        run_campaign(campaign, tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        (key,) = campaign.unique_keys()
+        record = store.record(key)
+        record.pop("n_windows")
+        write_json_atomic(store._record_path(key), record)
+        warm = run_campaign(campaign, tmp_path / "store")
+        (outcome,) = warm.outcomes
+        assert outcome.status == "cached"
+        assert outcome.n_windows is None
+        assert outcome.as_row()["windows"] == ""
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"workers": 0}, "workers"),
+            ({"workers": 2, "worker_index": 3}, "worker_index"),
+            ({"workers": 2, "worker_index": 0}, "worker_index"),
+            ({"workers": 2, "recompute": True}, "recompute"),
+            ({"lease_ttl": 0.0}, "lease_ttl"),
+            ({"lease_ttl": 5.0, "heartbeat_seconds": 5.0}, "heartbeat"),
+            ({"poll_seconds": 0.0}, "poll_seconds"),
+        ],
+    )
+    def test_fleet_argument_validation(self, tmp_path, kwargs, match):
+        campaign = tiny_campaign()
+        with pytest.raises(ValueError, match=match):
+            run_campaign(campaign, tmp_path / "store", **kwargs)
+
 
 class TestDeterminismProperty:
     """The store's warm path is indistinguishable from recomputation."""

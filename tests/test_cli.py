@@ -435,3 +435,102 @@ class TestCampaign:
         code = main(["experiments", "fig4", "--store", store])
         assert code == 0
         assert "[cached]" in capsys.readouterr().out
+
+
+class TestCampaignFleet:
+    GRID = [
+        "--scenarios", "stationary", "invalid-storm",
+        "--seeds", "0",
+        "--nv", "2000",
+        "--quantities", "source_fanout",
+    ]
+
+    def test_failed_cell_exits_nonzero_and_contains_the_failure(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.campaigns.runner as runner_module
+
+        real = runner_module.analyze_scenario
+
+        def exploding(scenario, *args, **kwargs):
+            if scenario.name == "invalid-storm":
+                raise RuntimeError("boom")
+            return real(scenario, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "analyze_scenario", exploding)
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "f", *self.GRID])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "computed 1, cached 0, failed 1" in out
+        assert "failed invalid-storm seed=0" in out and "RuntimeError: boom" in out
+        # the failure was contained: the good cell is stored, and a re-run
+        # with the bug gone retries exactly the failed cell
+        monkeypatch.setattr(runner_module, "analyze_scenario", real)
+        code = main(["campaign", "run", "--store", store, "--name", "f", *self.GRID])
+        assert code == 0
+        assert "computed 1, cached 1" in capsys.readouterr().out
+
+    def test_invalid_worker_id_exits_cleanly(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        for bad in ("nope", "3/2", "0/2"):
+            code = main(["campaign", "run", "--store", store, "--name", "w",
+                         "--worker-id", bad, *self.GRID])
+            assert code == 2
+            assert "worker id" in capsys.readouterr().out
+        code = main(["campaign", "run", "--store", store, "--name", "w",
+                     "--workers", "4", "--worker-id", "1/2", *self.GRID])
+        assert code == 2
+        assert "fleet" in capsys.readouterr().out
+        assert not (tmp_path / "store").exists()  # nothing ran
+
+    def test_lone_fleet_member_steals_the_whole_grid(self, tmp_path, capsys):
+        """One worker of a declared fleet of two finishes everything: its
+        own shard first, the absent partner's cells via the stealing tail."""
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "fleet",
+                     "--worker-id", "1/2", "--lease-ttl", "5", *self.GRID])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(worker 1/2)" in out
+        assert "computed 2, cached 0" in out
+
+    def test_status_check_gates_on_completeness_and_leases(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "gate",
+                     "--max-cells", "1", *self.GRID])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["campaign", "status", "--store", store, "--check"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "check failed" in out and "incomplete" in out
+        code = main(["campaign", "run", "--store", store, "--name", "gate", *self.GRID])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["campaign", "status", "--store", store, "--check"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "check passed" in out
+        assert "gate" in out
+
+    def test_status_reports_outstanding_leases(self, tmp_path, capsys):
+        from repro.campaigns import ResultStore
+
+        store = str(tmp_path / "store")
+        code = main(["campaign", "run", "--store", store, "--name", "held",
+                     "--max-cells", "1", *self.GRID])
+        assert code == 0
+        capsys.readouterr()
+        # simulate a fleet member computing the missing cell right now
+        held = ResultStore(store)
+        missing = [cell["key"] for cell in held.load_campaign("held")["cells"]
+                   if cell["key"] not in held]
+        assert held.acquire_lease(missing[0], "worker-x", ttl=30)
+        code = main(["campaign", "status", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outstanding leases" in out and "worker-x" in out
+        code = main(["campaign", "status", "--store", store, "--check"])
+        assert code == 1
+        assert "outstanding lease" in capsys.readouterr().out
