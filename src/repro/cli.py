@@ -20,7 +20,13 @@ Exposes the main workflows as subcommands of ``python -m repro`` (or the
   scenario's ground-truth phase boundaries (latency, precision/recall,
   false-alarm rate),
 * ``campaign`` — run, resume, inspect, and report declarative sweep grids
-  backed by the content-addressed result store (``repro.campaigns``).
+  backed by the content-addressed result store (``repro.campaigns``),
+* ``serve`` — run the resident streaming-analysis daemon: registered jobs
+  fold newline-delimited JSON packet batches incrementally through the
+  same engine as one-shot analyses, report progress on ``/status``, and
+  flush results to a result store on graceful shutdown,
+* ``jobs`` — talk to a running daemon: submit job configs, feed scenario
+  batches, and poll job status.
 
 Every subcommand is a thin wrapper over the public API so that anything the
 CLI does can be scripted directly in Python.
@@ -331,6 +337,59 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=list(QUANTITY_NAMES),
                              help="quantity the cell/summary tables report")
     camp_report.set_defaults(func=_cmd_campaign_report)
+
+    srv = subparsers.add_parser(
+        "serve", help="run the resident streaming-analysis daemon (repro.service)"
+    )
+    srv.add_argument("--job", action="append", default=[], metavar="CONFIG.json",
+                     help="versioned job-config file to register at startup "
+                          "(repeatable; more jobs may be submitted over HTTP)")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8732,
+                     help="bind port (0 binds an ephemeral port)")
+    srv.add_argument("--store", default=None,
+                     help="result-store directory job results are flushed into on "
+                          "graceful shutdown (and on POST /jobs/<job>/flush)")
+    srv.add_argument("--max-batch-bytes", type=int, default=None,
+                     help="request-body cap; oversized ingest requests get a "
+                          "structured 413 (default 8 MiB)")
+    srv.set_defaults(func=_cmd_serve)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="talk to a running 'repro serve' daemon over HTTP"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_submit = jobs_sub.add_parser("submit", help="submit a job config to the daemon")
+    jobs_submit.add_argument("config", help="job-config JSON file")
+    jobs_submit.add_argument("--url", required=True, metavar="http://HOST:PORT",
+                             help="base URL of the daemon")
+    jobs_submit.set_defaults(func=_cmd_jobs_submit)
+
+    jobs_status = jobs_sub.add_parser("status", help="print daemon or per-job status")
+    jobs_status.add_argument("name", nargs="?", default=None,
+                             help="job name (default: every job)")
+    jobs_status.add_argument("--url", required=True, metavar="http://HOST:PORT",
+                             help="base URL of the daemon")
+    jobs_status.add_argument("--min-windows", type=int, default=None,
+                             help="poll until the job has folded at least this many "
+                                  "windows (requires a job name; exits 1 on timeout)")
+    jobs_status.add_argument("--timeout", type=float, default=30.0,
+                             help="polling deadline in seconds for --min-windows")
+    jobs_status.set_defaults(func=_cmd_jobs_status)
+
+    jobs_feed = jobs_sub.add_parser(
+        "feed", help="generate a scenario's packet stream and feed it to a job in batches"
+    )
+    jobs_feed.add_argument("name", help="target job name on the daemon")
+    jobs_feed.add_argument("--url", required=True, metavar="http://HOST:PORT",
+                           help="base URL of the daemon")
+    jobs_feed.add_argument("--scenario", required=True,
+                           help="registered scenario name (see 'scenarios list')")
+    jobs_feed.add_argument("--seed", type=int, default=0, help="scenario seed")
+    jobs_feed.add_argument("--batch-packets", type=int, default=50_000,
+                           help="packets per POSTed batch")
+    jobs_feed.set_defaults(func=_cmd_jobs_feed)
 
     return parser
 
@@ -758,6 +817,189 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     if not report.complete:
         print(f"\nnote: {len(report.missing)} cells missing — "
               f"'repro campaign run' with the same grid resumes them")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.config import JobConfigError, load_job_config
+    from repro.service.server import DEFAULT_MAX_BATCH_BYTES, serve
+
+    configs = []
+    for path in args.job:
+        try:
+            configs.append(load_job_config(path))
+        except JobConfigError as error:
+            print(f"error: {error}")
+            return 2
+    names = [config.name for config in configs]
+    if len(set(names)) != len(names):
+        print(f"error: duplicate job names across --job files: {sorted(names)}")
+        return 2
+    if args.store is not None and Path(args.store).is_file():
+        print(f"error: --store {args.store} is a file, not a directory")
+        return 2
+    max_batch = DEFAULT_MAX_BATCH_BYTES if args.max_batch_bytes is None else args.max_batch_bytes
+    if max_batch <= 0:
+        print(f"error: --max-batch-bytes must be positive, got {max_batch}")
+        return 2
+    try:
+        return serve(
+            configs,
+            host=args.host,
+            port=args.port,
+            store_root=args.store,
+            max_batch_bytes=max_batch,
+        )
+    except OSError as error:
+        # most commonly EADDRINUSE: another process owns the port
+        print(f"error: cannot serve on {args.host}:{args.port}: {error}")
+        return 2
+
+
+def _daemon_request(url: str, *, data: bytes | None = None, timeout: float = 10.0):
+    """One JSON request to the daemon: ``(status, body_dict)``.
+
+    HTTP-level errors still carry the daemon's structured JSON body;
+    transport failures (connection refused, timeouts) raise ``OSError``.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data is not None else "GET"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        body = error.read().decode("utf-8", errors="replace")
+        try:
+            return error.code, json.loads(body)
+        except json.JSONDecodeError:
+            return error.code, {"error": {"code": "http", "message": body.strip()}}
+
+
+def _daemon_error_line(status: int, body: dict) -> str:
+    error = body.get("error", {}) if isinstance(body, dict) else {}
+    code = error.get("code", "http")
+    message = error.get("message", f"daemon replied with status {status}")
+    return f"error: daemon rejected the request ({code}): {message}"
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    from repro.service.config import JobConfigError, load_job_config
+
+    try:
+        config = load_job_config(args.config)
+    except JobConfigError as error:
+        print(f"error: {error}")
+        return 2
+    import json
+
+    payload = json.dumps(config.as_dict()).encode("utf-8")
+    try:
+        status, body = _daemon_request(f"{args.url.rstrip('/')}/jobs", data=payload)
+    except OSError as error:
+        print(f"error: cannot reach daemon at {args.url}: {error}")
+        return 2
+    if status != 200:
+        print(_daemon_error_line(status, body))
+        return 1
+    print(f"submitted job {body['job']!r} (config {body['config_hash'][:12]})")
+    return 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    import time
+
+    if args.min_windows is not None and args.name is None:
+        print("error: --min-windows requires a job name")
+        return 2
+    base = args.url.rstrip("/")
+    url = f"{base}/status" if args.name is None else f"{base}/status/{args.name}"
+    deadline = time.monotonic() + args.timeout
+    while True:
+        try:
+            status, body = _daemon_request(url)
+        except OSError as error:
+            print(f"error: cannot reach daemon at {args.url}: {error}")
+            return 2
+        if status != 200:
+            print(_daemon_error_line(status, body))
+            return 1
+        if args.min_windows is None:
+            break
+        if body.get("windows_folded", 0) >= args.min_windows:
+            break
+        if time.monotonic() >= deadline:
+            print(f"error: job {args.name!r} reached only "
+                  f"{body.get('windows_folded', 0)}/{args.min_windows} windows "
+                  f"within {args.timeout:.0f}s")
+            return 1
+        time.sleep(0.1)
+    entries = body["jobs"] if args.name is None else [body]
+    if not entries:
+        print("no jobs registered")
+        return 0
+    rows = [
+        {
+            "job": entry["name"],
+            "windows": entry["windows_folded"],
+            "buffered": entry["packets_buffered"],
+            "alarms": entry["alarms_raised"],
+            "errors": entry["errors"],
+            "uptime_s": entry["uptime_seconds"],
+            "config": entry["config_hash"][:12],
+        }
+        for entry in entries
+    ]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_jobs_feed(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import get_scenario
+    from repro.scenarios.source import ScenarioTraceSource
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    if args.batch_packets <= 0:
+        print(f"error: --batch-packets must be positive, got {args.batch_packets}")
+        return 2
+    source = ScenarioTraceSource(scenario, seed=args.seed, chunk_packets=args.batch_packets)
+    base = args.url.rstrip("/")
+    batches = windows = 0
+    for chunk in source:
+        packets = chunk.packets
+        line = json.dumps(
+            {
+                "src": packets["src"].tolist(),
+                "dst": packets["dst"].tolist(),
+                "time": packets["time"].tolist(),
+                "size": packets["size"].tolist(),
+                "valid": packets["valid"].tolist(),
+            }
+        )
+        try:
+            status, body = _daemon_request(
+                f"{base}/ingest/{args.name}", data=(line + "\n").encode("utf-8")
+            )
+        except OSError as error:
+            print(f"error: cannot reach daemon at {args.url}: {error}")
+            return 2
+        if status != 200:
+            print(_daemon_error_line(status, body))
+            return 1
+        batches += 1
+        windows = body["windows_folded"]
+    print(f"fed scenario {scenario.name!r} (seed {args.seed}) to job {args.name!r}: "
+          f"{batches} batches, {windows} windows folded")
     return 0
 
 

@@ -21,13 +21,12 @@ from typing import Sequence, Union
 from repro._util.logging import get_logger
 from repro._util.validation import check_positive_int
 from repro.analysis.phases import PhaseSegmentedAnalysis, PhaseSegmentedAnalyzer
-from repro.analysis.pooling import pool_differential_cumulative
 from repro.detect.analyzer import DetectingAnalyzer, DetectionResult
 from repro.scenarios.scenario import Scenario, get_scenario
 from repro.scenarios.source import DEFAULT_BLOCK_PACKETS, ScenarioTraceSource, SeedLike
 from repro.streaming.aggregates import QUANTITY_NAMES
 from repro.streaming.parallel import ExecutionBackend, get_backend
-from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, iter_window_results
+from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, fold_windows
 from repro.streaming.sketch import SketchConfig
 from repro.streaming.window import ChunkedWindower
 
@@ -159,19 +158,12 @@ def analyze_scenario(
     segmenter = PhaseSegmentedAnalyzer(
         n_valid, scenario.n_phases, source.phase_of_valid_index, quantities
     )
-    pairs = iter_window_results(
-        backend_impl, windower, batch_windows=batch_windows,
-        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
+    # the one shared fold loop (windows are pooled once, vectors handed to
+    # every consumer): identical code to analyze_trace and the service daemon
+    fold_windows(
+        backend_impl, windower, folder, consumers=(segmenter,),
+        batch_windows=batch_windows, mode=mode, sketch=analyzer.sketch_config,
     )
-    for result, pooled in pairs:
-        if pooled is None:
-            # pool each window once and hand the vectors to all folds (the
-            # batched process backend ships the vectors pre-pooled instead)
-            pooled = {
-                q: pool_differential_cumulative(result.histograms[q]) for q in analyzer.quantities
-            }
-        folder.update(result, pooled=pooled)
-        segmenter.update(result, pooled=pooled)
     stats = {
         "backend": backend_impl.name,
         "scenario": scenario.name,

@@ -1,0 +1,58 @@
+"""Resident streaming-analysis service: ``repro serve``.
+
+Everything else in the reproduction is a one-shot run; this package makes
+the engine a *resident process*.  A :class:`~repro.service.server.ServiceDaemon`
+accepts newline-delimited JSON packet batches over an asyncio HTTP front
+end and folds them incrementally through the exact same window-fold loop
+(:func:`repro.streaming.pipeline.fold_windows`) that one-shot analyses and
+campaign workers drive — so a daemon fed a scenario's packets in arbitrary
+batches produces pooled output and alarm sequences **bit-identical** to
+:func:`repro.scenarios.run.analyze_scenario` over the same stream.
+
+The pieces:
+
+* :mod:`repro.service.config` — declarative, versioned job configs
+  (typed dataclass sections, ``version`` field, ``as_dict``/``from_dict``
+  round-trip, all validation at load time with path-qualified errors);
+* :mod:`repro.service.engine` — :class:`~repro.service.engine.JobEngine`,
+  the push-driven incremental fold behind each job;
+* :mod:`repro.service.jobs` — the in-daemon job registry and per-job
+  status counters;
+* :mod:`repro.service.server` — the asyncio HTTP daemon: ``/status``,
+  job submission, batch ingestion, fault containment, and a graceful
+  SIGTERM drain that flushes results to a
+  :class:`~repro.campaigns.store.ResultStore`.
+"""
+
+from repro.service.config import (
+    JOB_CONFIG_VERSION,
+    DetectionSection,
+    JobConfig,
+    JobConfigError,
+    SketchSection,
+    SourceSection,
+    StoreSection,
+    WindowSection,
+    load_job_config,
+)
+from repro.service.engine import JobEngine, packet_batch_from_json
+from repro.service.jobs import Job, JobRegistry
+from repro.service.server import ServiceDaemon, serve
+
+__all__ = [
+    "JOB_CONFIG_VERSION",
+    "DetectionSection",
+    "Job",
+    "JobConfig",
+    "JobConfigError",
+    "JobEngine",
+    "JobRegistry",
+    "ServiceDaemon",
+    "SketchSection",
+    "SourceSection",
+    "StoreSection",
+    "WindowSection",
+    "load_job_config",
+    "packet_batch_from_json",
+    "serve",
+]

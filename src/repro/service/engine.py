@@ -1,0 +1,206 @@
+"""The incremental analysis engine behind one resident service job.
+
+:class:`JobEngine` is the push-driven face of the single-pass engine: a
+:class:`~repro.streaming.window.PushWindower` cuts arbitrary incoming
+packet batches into exactly the windows a one-shot run would cut, and
+every completed window goes through
+:func:`repro.streaming.pipeline.fold_windows` — the *same* fold loop
+:func:`~repro.streaming.pipeline.analyze_trace`,
+:func:`~repro.scenarios.run.analyze_scenario`, and every campaign worker
+drive.  Nothing here re-implements analysis; the daemon is one more caller
+of the engine, which is why an incrementally-fed job reproduces the
+one-shot pooled vectors and alarm sequences **bit for bit**
+(``tests/test_service_properties.py``).
+
+Batch validation (:func:`packet_batch_from_json`) happens entirely before
+any fold: a malformed batch raises :class:`BatchError` and leaves the
+engine's analyzer state untouched, so the next valid batch folds cleanly —
+the containment contract the fault-injection suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.detect.analyzer import DetectingAnalyzer
+from repro.service.config import JobConfig
+from repro.streaming.packet import PacketTrace
+from repro.streaming.parallel import get_backend
+from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, fold_windows
+from repro.streaming.window import PushWindower
+
+__all__ = ["BatchError", "JobEngine", "MAX_ENDPOINT_ID", "packet_batch_from_json"]
+
+#: Largest endpoint id a service batch may carry.  Ids are stored as int64
+#: and packed into ``(src << 32) | dst`` keys by the fused kernel; the
+#: service rejects anything outside ``[0, 2**32)`` up front instead of
+#: silently taking the slow fallback path on attacker-controlled input.
+MAX_ENDPOINT_ID = 2**32 - 1
+
+
+class BatchError(ValueError):
+    """A packet batch failed validation; nothing was folded."""
+
+
+def _batch_column(batch: Mapping, name: str, n: int | None) -> np.ndarray:
+    """One required id column of a JSON batch, validated to int64 in range."""
+    if name not in batch:
+        raise BatchError(f"batch is missing the {name!r} column")
+    try:
+        column = np.asarray(batch[name])
+    except (TypeError, ValueError) as error:
+        raise BatchError(f"batch column {name!r} is not array-like: {error}") from error
+    if column.ndim != 1:
+        raise BatchError(f"batch column {name!r} must be 1-D, got shape {column.shape}")
+    if n is not None and column.size != n:
+        raise BatchError(
+            f"batch column {name!r} has {column.size} entries but 'src' has {n}"
+        )
+    if column.size and not np.issubdtype(column.dtype, np.integer):
+        # JSON numbers arrive as int64 when integral; floats/strings are
+        # malformed input, not something to round
+        raise BatchError(f"batch column {name!r} must be integers, got dtype {column.dtype}")
+    if column.size:
+        low, high = int(column.min()), int(column.max())
+        if low < 0 or high > MAX_ENDPOINT_ID:
+            raise BatchError(
+                f"batch column {name!r} has out-of-range ids (min {low}, max {high}); "
+                f"ids must be in [0, {MAX_ENDPOINT_ID}]"
+            )
+    return column.astype(np.int64, copy=False)
+
+
+def packet_batch_from_json(batch: Mapping) -> PacketTrace:
+    """Validate one decoded JSON batch and build its :class:`PacketTrace`.
+
+    A batch is an object with integer id columns ``src`` and ``dst`` (equal
+    length, ids in ``[0, 2**32)``) and optional ``time`` (numbers),
+    ``size`` (integers), and ``valid`` (booleans) columns of the same
+    length.  Every failure mode raises :class:`BatchError` with a message
+    naming the offending column — and, critically, raises **before** any
+    analyzer state could change.
+    """
+    if not isinstance(batch, Mapping):
+        raise BatchError(f"batch must be a JSON object, got {type(batch).__name__}")
+    unknown = sorted(set(batch) - {"src", "dst", "time", "size", "valid"})
+    if unknown:
+        raise BatchError(f"unknown batch column(s) {unknown}; valid: src dst time size valid")
+    src = _batch_column(batch, "src", None)
+    dst = _batch_column(batch, "dst", int(src.size))
+    n = int(src.size)
+    if n == 0:
+        raise BatchError("batch is empty (src has no entries)")
+    optional: dict = {}
+    for name in ("time", "size", "valid"):
+        if name not in batch or batch[name] is None:
+            continue
+        try:
+            column = np.asarray(batch[name])
+        except (TypeError, ValueError) as error:
+            raise BatchError(f"batch column {name!r} is not array-like: {error}") from error
+        if column.ndim != 1 or column.size != n:
+            raise BatchError(f"batch column {name!r} must be 1-D of length {n}")
+        if name == "valid":
+            if column.dtype != np.bool_:
+                raise BatchError(f"batch column 'valid' must be booleans, got dtype {column.dtype}")
+        elif not np.issubdtype(column.dtype, np.number):
+            raise BatchError(f"batch column {name!r} must be numbers, got dtype {column.dtype}")
+        optional[name] = column
+    try:
+        return PacketTrace.from_arrays(src, dst, **optional)
+    except (TypeError, ValueError) as error:  # pragma: no cover - belt and braces
+        raise BatchError(f"batch does not form a valid packet trace: {error}") from error
+
+
+class JobEngine:
+    """Push-driven incremental analysis for one job config.
+
+    Feed validated :class:`PacketTrace` batches via :meth:`ingest`; complete
+    windows are cut by a :class:`PushWindower` (bit-identical to one-shot
+    windowing for any re-batching) and folded through
+    :func:`fold_windows` into a :class:`StreamAnalyzer` — wrapped in a
+    :class:`DetectingAnalyzer` when the job config asks for detection.
+    All state is O(bins + one window buffer); a job can ingest forever.
+    """
+
+    def __init__(self, config: JobConfig) -> None:
+        self.config = config
+        window = config.window
+        self._sketch = config.sketch_config()
+        analyzer = StreamAnalyzer(
+            window.n_valid,
+            window.quantities,
+            keep_windows=False,
+            mode=window.mode,
+            sketch=self._sketch,
+        )
+        self.folder: Union[StreamAnalyzer, DetectingAnalyzer] = analyzer
+        if config.detection.detectors:
+            self.folder = DetectingAnalyzer(
+                analyzer, config.detection.detectors, quantity=config.detection.quantity
+            )
+        self._windower = PushWindower(window.n_valid)
+        self._backend = get_backend("serial")
+        self.packets_ingested = 0
+        self.batches_ingested = 0
+
+    @property
+    def windows_folded(self) -> int:
+        """Complete windows analysed and folded so far."""
+        return self.folder.n_windows
+
+    @property
+    def packets_buffered(self) -> int:
+        """Packets held toward the next incomplete window."""
+        return self._windower.buffered_packets
+
+    @property
+    def alarms_raised(self) -> int:
+        """Total detector alarms so far (0 when the job runs no detectors)."""
+        if isinstance(self.folder, DetectingAnalyzer):
+            return sum(len(a) for a in self.folder.detection().alarms.values())
+        return 0
+
+    def ingest(self, chunk: PacketTrace) -> int:
+        """Fold one packet batch; return how many windows it completed.
+
+        The batch joins the window buffer; every window it completes is
+        analysed and folded through the shared fold loop immediately.
+        Packets short of a window stay buffered for the next batch (or the
+        shutdown drain).
+        """
+        windows = self._windower.push(chunk)
+        self.packets_ingested += chunk.n_packets
+        self.batches_ingested += 1
+        if windows:
+            fold_windows(
+                self._backend, windows, self.folder,
+                mode=self.config.window.mode, sketch=self._sketch,
+            )
+        return len(windows)
+
+    def result(self) -> WindowedAnalysis:
+        """Finalize the folded windows into a :class:`WindowedAnalysis`.
+
+        Raises ``ValueError`` when no complete window has been folded yet
+        (same contract as the one-shot engine).  The engine stays usable —
+        finalizing is a read, not a stop.
+        """
+        return self.folder.result(
+            stats={
+                "backend": "service",
+                "n_chunks": self._windower.n_chunks,
+                "max_buffered_packets": self._windower.max_buffered_packets,
+            }
+        )
+
+    def detection(self):
+        """The job's :class:`~repro.detect.analyzer.DetectionResult` so far.
+
+        ``None`` when the job config requested no detectors.
+        """
+        if isinstance(self.folder, DetectingAnalyzer):
+            return self.folder.detection()
+        return None

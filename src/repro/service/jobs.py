@@ -1,0 +1,165 @@
+"""The daemon's job table: named engines with uptime, status, and flush.
+
+A :class:`Job` pairs one :class:`~repro.service.engine.JobEngine` with the
+bookkeeping the ``/status`` endpoint reports — monotonic uptime, batch and
+error counters, the job-config hash.  The :class:`JobRegistry` is the
+daemon's single mutable table of jobs; on graceful shutdown it flushes
+every job's finalized result into a
+:class:`~repro.campaigns.store.ResultStore` under the job's config hash,
+so a drained daemon leaves the same kind of content-addressed artifact a
+campaign worker would.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro._util.logging import get_logger
+from repro.campaigns.store import ResultStore
+from repro.service.config import JobConfig
+from repro.service.engine import JobEngine
+
+__all__ = ["Job", "JobRegistry"]
+
+_logger = get_logger("service.jobs")
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON types."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class Job:
+    """One resident analysis job: an engine plus its status bookkeeping."""
+
+    def __init__(self, config: JobConfig) -> None:
+        self.config = config
+        self.engine = JobEngine(config)
+        self.config_hash = config.config_hash()
+        self.started = time.monotonic()
+        self.errors = 0
+
+    @property
+    def name(self) -> str:
+        """The job's (registry-unique) name."""
+        return self.config.name
+
+    def status(self) -> dict:
+        """The job's ``/status`` entry: counters, uptime, config hash."""
+        engine = self.engine
+        return {
+            "name": self.name,
+            "config_hash": self.config_hash,
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
+            "windows_folded": engine.windows_folded,
+            "packets_buffered": engine.packets_buffered,
+            "packets_ingested": engine.packets_ingested,
+            "batches_ingested": engine.batches_ingested,
+            "alarms_raised": engine.alarms_raised,
+            "errors": self.errors,
+            "mode": self.config.window.mode,
+            "detectors": list(self.config.detection.detectors),
+        }
+
+    def flush_payload(self) -> dict | None:
+        """The job's storable result payload, or ``None`` before any window.
+
+        The payload carries the finalized pooled analysis (JSON-safe), the
+        detection summary when the job ran detectors, and the full job
+        config — everything needed to interpret the artifact offline.
+        """
+        if self.engine.windows_folded == 0:
+            return None
+        analysis = self.engine.result()
+        pooled_out = {}
+        for name in analysis.quantities:
+            pooled = analysis.pooled(name)
+            pooled_out[name] = {
+                "bin_edges": _jsonable(pooled.bin_edges),
+                "values": _jsonable(pooled.values),
+                "sigma": _jsonable(pooled.sigma),
+                "total": _jsonable(pooled.total),
+            }
+        payload = {
+            "service_job": self.config.as_dict(),
+            "config_hash": self.config_hash,
+            "n_windows": analysis.n_windows,
+            "pooled": pooled_out,
+            "status": self.status(),
+        }
+        detection = self.engine.detection()
+        if detection is not None:
+            payload["detection"] = {
+                "quantity": detection.quantity,
+                "alarms": {
+                    name: [_jsonable(i) for i in alarms]
+                    for name, alarms in detection.alarms.items()
+                },
+            }
+        return payload
+
+
+class JobRegistry:
+    """The daemon's table of live jobs, keyed by unique job name."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._jobs
+
+    def add(self, config: JobConfig) -> Job:
+        """Register a new job; duplicate names raise ``ValueError``."""
+        if config.name in self._jobs:
+            raise ValueError(f"job {config.name!r} already exists")
+        job = Job(config)
+        self._jobs[config.name] = job
+        _logger.info("registered job %r (config %s)", job.name, job.config_hash[:12])
+        return job
+
+    def get(self, name: str) -> Job:
+        """Look up a job by name; unknown names raise ``KeyError``."""
+        if name not in self._jobs:
+            raise KeyError(f"no such job: {name!r}")
+        return self._jobs[name]
+
+    def status(self) -> dict:
+        """The registry-level ``/status`` body: one entry per job."""
+        return {"n_jobs": len(self._jobs), "jobs": [job.status() for job in self]}
+
+    def flush(self, store: ResultStore) -> list[str]:
+        """Flush every job with ≥1 folded window into *store*.
+
+        Each payload is stored under the job's config hash (content key of
+        the job config), so re-running an identical job config overwrites
+        its own slot and nothing else.  Returns the stored keys.
+        """
+        keys: list[str] = []
+        for job in self:
+            payload = job.flush_payload()
+            if payload is None:
+                _logger.info("job %r folded no windows; nothing to flush", job.name)
+                continue
+            store.put(
+                job.config_hash,
+                payload,
+                meta={"kind": "service_job", "job": job.name},
+            )
+            keys.append(job.config_hash)
+            _logger.info("flushed job %r -> %s", job.name, job.config_hash[:12])
+        return keys

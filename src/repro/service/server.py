@@ -1,0 +1,388 @@
+"""The resident daemon behind ``repro serve``: asyncio HTTP front end.
+
+:class:`ServiceDaemon` is a deliberately small HTTP/1.1 server built on
+``asyncio.start_server`` (stdlib only, one connection handled per task).
+It accepts newline-delimited JSON packet batches, validates each batch
+*fully* before folding anything, and drives every job's
+:class:`~repro.service.engine.JobEngine` — which is the same window-fold
+loop every one-shot analysis uses.
+
+Routes
+------
+``GET /status``
+    Daemon-level status: every job's counters, uptime, config hash.
+``GET /status/<job>``
+    One job's status entry.
+``POST /jobs``
+    Submit a job config (JSON body); replies with the job's config hash.
+``POST /ingest/<job>``
+    Newline-delimited JSON packet batches.  All lines are parsed and
+    validated before the first fold, so a malformed line folds nothing.
+``POST /jobs/<job>/flush``
+    Finalize the job's current analysis into the daemon's
+    :class:`~repro.campaigns.store.ResultStore`.
+
+Fault containment is the point: every bad request — malformed JSON,
+out-of-range ids, an oversized batch, a client that disconnects
+mid-stream, an unknown config ``version`` — produces a structured JSON
+error (``{"error": {"code", "message"}}``) or a dropped connection, never
+a dead daemon and never a corrupted analyzer
+(``tests/test_service_faults.py``).  On SIGTERM the daemon stops
+accepting work, lets in-flight requests drain, flushes every job's result
+to the store, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro._util.logging import get_logger
+from repro.campaigns.store import ResultStore
+from repro.service.config import JobConfig, JobConfigError
+from repro.service.engine import BatchError, packet_batch_from_json
+from repro.service.jobs import JobRegistry
+
+__all__ = ["DEFAULT_MAX_BATCH_BYTES", "ServiceDaemon", "serve"]
+
+_logger = get_logger("service.server")
+
+#: Default cap on one request body; a larger ``Content-Length`` gets a 413
+#: structured error without the body ever being read.
+DEFAULT_MAX_BATCH_BYTES = 8 * 1024 * 1024
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class _HttpError(Exception):
+    """A request failure that maps to one structured error response."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServiceDaemon:
+    """A resident streaming-analysis daemon over asyncio HTTP.
+
+    Parameters
+    ----------
+    configs:
+        Job configs to register at startup (more may arrive via
+        ``POST /jobs``).
+    host, port:
+        Bind address; ``port=0`` binds an ephemeral port, reported via
+        :attr:`port` once the server is up.
+    store:
+        The :class:`ResultStore` results are flushed into on shutdown and
+        on ``POST /jobs/<job>/flush``; ``None`` disables flushing.
+    max_batch_bytes:
+        Request-body cap; oversized requests get a structured 413.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[JobConfig] = (),
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: ResultStore | None = None,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.store = store
+        self.max_batch_bytes = int(max_batch_bytes)
+        self.registry = JobRegistry()
+        for config in configs:
+            self.registry.add(config)
+        self.requests_served = 0
+        self.requests_failed = 0
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+
+    # ------------------------------------------------------------------ http
+
+    def _respond(self, status: int, body: dict) -> bytes:
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        return head.encode("ascii") + payload
+
+    def _error_body(self, error: _HttpError) -> dict:
+        return {"error": {"code": error.code, "message": error.message}}
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request: ``(method, path, body)``.
+
+        Raises :class:`_HttpError` on protocol violations and
+        ``asyncio.IncompleteReadError`` when the client disconnects before
+        delivering the promised body — the caller drops the connection and
+        no job state changes.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError as error:
+            raise _HttpError(400, "bad_request", "request head too large") from error
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError(400, "bad_request", "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, "bad_request", f"malformed request line: {lines[0]!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if method == "POST":
+            if "content-length" not in headers:
+                raise _HttpError(411, "length_required", "POST requires Content-Length")
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "bad_request", "invalid Content-Length") from None
+            if length < 0:
+                raise _HttpError(400, "bad_request", "invalid Content-Length")
+            if length > self.max_batch_bytes:
+                raise _HttpError(
+                    413,
+                    "batch_too_large",
+                    f"request body of {length} bytes exceeds the "
+                    f"{self.max_batch_bytes}-byte limit",
+                )
+            # a client that disconnects mid-body raises IncompleteReadError
+            # here — before any parsing or folding
+            body = await reader.readexactly(length)
+        return method, path, body
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        """Serve one connection: one request, one response, close."""
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as error:
+                self.requests_failed += 1
+                writer.write(self._respond(error.status, self._error_body(error)))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                # mid-stream disconnect: nothing parsed, nothing folded
+                self.requests_failed += 1
+                _logger.info("client disconnected mid-request; dropped")
+                return
+            try:
+                status, response = self._route(method, path, body)
+                self.requests_served += 1
+            except _HttpError as error:
+                self.requests_failed += 1
+                status, response = error.status, self._error_body(error)
+            except Exception as error:  # noqa: BLE001 - daemon must survive
+                self.requests_failed += 1
+                _logger.exception("unexpected error serving %s %s", method, path)
+                status, response = 500, {
+                    "error": {"code": "internal", "message": f"{type(error).__name__}: {error}"}
+                }
+            writer.write(self._respond(status, response))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    # ---------------------------------------------------------------- routes
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        """Dispatch one parsed request to its handler."""
+        segments = [s for s in path.split("?")[0].split("/") if s]
+        if method == "GET" and segments == ["status"]:
+            return 200, self._status()
+        if method == "GET" and len(segments) == 2 and segments[0] == "status":
+            return 200, self._job(segments[1]).status()
+        if method == "POST" and segments == ["jobs"]:
+            return self._submit(body)
+        if method == "POST" and len(segments) == 2 and segments[0] == "ingest":
+            return self._ingest(segments[1], body)
+        if (
+            method == "POST"
+            and len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "flush"
+        ):
+            return self._flush_one(segments[1])
+        if method not in ("GET", "POST"):
+            raise _HttpError(405, "method_not_allowed", f"unsupported method {method!r}")
+        raise _HttpError(404, "not_found", f"no route for {method} {path}")
+
+    def _status(self) -> dict:
+        body = self.registry.status()
+        body["requests_served"] = self.requests_served
+        body["requests_failed"] = self.requests_failed
+        body["store"] = str(self.store.root) if self.store is not None else None
+        return body
+
+    def _job(self, name: str):
+        try:
+            return self.registry.get(name)
+        except KeyError:
+            raise _HttpError(404, "unknown_job", f"no such job: {name!r}") from None
+
+    def _submit(self, body: bytes) -> tuple[int, dict]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, "bad_json", f"job config is not valid JSON: {error}") from None
+        if not isinstance(data, Mapping):
+            raise _HttpError(400, "bad_config", "job config must be a JSON object")
+        try:
+            config = JobConfig.from_dict(data)
+        except JobConfigError as error:
+            raise _HttpError(400, "bad_config", str(error)) from None
+        try:
+            job = self.registry.add(config)
+        except ValueError as error:
+            raise _HttpError(400, "duplicate_job", str(error)) from None
+        return 200, {"job": job.name, "config_hash": job.config_hash}
+
+    def _ingest(self, name: str, body: bytes) -> tuple[int, dict]:
+        job = self._job(name)
+        lines = [line for line in body.split(b"\n") if line.strip()]
+        if not lines:
+            job.errors += 1
+            raise _HttpError(400, "empty_batch", "request body carried no batch lines")
+        # parse and validate EVERY line before folding ANY: a malformed
+        # line N must not leave lines < N already folded
+        traces = []
+        for i, line in enumerate(lines, start=1):
+            try:
+                obj = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                job.errors += 1
+                raise _HttpError(
+                    400, "bad_json", f"batch line {i} is not valid JSON: {error}"
+                ) from None
+            try:
+                traces.append(packet_batch_from_json(obj))
+            except BatchError as error:
+                job.errors += 1
+                raise _HttpError(400, "bad_batch", f"batch line {i}: {error}") from None
+        windows = sum(job.engine.ingest(trace) for trace in traces)
+        return 200, {
+            "job": job.name,
+            "batches": len(traces),
+            "windows_folded_now": windows,
+            "windows_folded": job.engine.windows_folded,
+            "packets_buffered": job.engine.packets_buffered,
+            "alarms_raised": job.engine.alarms_raised,
+        }
+
+    def _flush_one(self, name: str) -> tuple[int, dict]:
+        job = self._job(name)
+        if self.store is None:
+            raise _HttpError(400, "no_store", "daemon was started without a result store")
+        payload = job.flush_payload()
+        if payload is None:
+            raise _HttpError(
+                400, "no_windows", f"job {name!r} has folded no complete window yet"
+            )
+        self.store.put(
+            job.config_hash, payload, meta={"kind": "service_job", "job": job.name}
+        )
+        return 200, {"job": job.name, "stored": job.config_hash}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def request_shutdown(self) -> None:
+        """Ask the daemon to drain and exit; safe to call from any thread."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until the server socket is bound (for test harnesses)."""
+        return self._ready.wait(timeout)
+
+    async def run_async(self, *, install_signal_handlers: bool = False) -> int:
+        """Serve until shutdown is requested; drain, flush, return 0."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(sig, self._shutdown.set)
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=_MAX_HEADER_BYTES
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        _logger.info(
+            "repro serve listening on %s:%d (%d job(s))",
+            self.host, self.port, len(self.registry),
+        )
+        self._ready.set()
+        async with server:
+            await self._shutdown.wait()
+            # stop accepting, then let in-flight handlers drain before the
+            # flush below snapshots job state
+            server.close()
+            await server.wait_closed()
+        if self.store is not None:
+            keys = self.registry.flush(self.store)
+            _logger.info("flushed %d job result(s) on shutdown", len(keys))
+        _logger.info("repro serve exiting cleanly")
+        return 0
+
+    def run(self, *, install_signal_handlers: bool = False) -> int:
+        """Blocking entry point: ``asyncio.run`` around :meth:`run_async`."""
+        return asyncio.run(self.run_async(install_signal_handlers=install_signal_handlers))
+
+
+def serve(
+    configs: Sequence[JobConfig],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store_root: str | Path | None = None,
+    max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+) -> int:
+    """Run the daemon in the foreground until SIGTERM/SIGINT; return 0.
+
+    This is the function ``repro serve`` calls: it builds the
+    :class:`ServiceDaemon`, opens the :class:`ResultStore` when
+    *store_root* is given, installs signal handlers, and blocks.  On
+    SIGTERM the daemon drains in-flight requests, flushes every job's
+    result to the store, and this function returns 0.
+    """
+    store = ResultStore(store_root) if store_root is not None else None
+    daemon = ServiceDaemon(
+        configs, host=host, port=port, store=store, max_batch_bytes=max_batch_bytes
+    )
+    return daemon.run(install_signal_handlers=True)

@@ -66,6 +66,7 @@ __all__ = [
     "analyze_windows",
     "analyze_trace",
     "default_batch_windows",
+    "fold_windows",
     "iter_window_results",
 ]
 
@@ -722,6 +723,73 @@ def iter_window_results(
         yield result, None
 
 
+def fold_windows(
+    backend_impl: ExecutionBackend,
+    windows: Iterable[PacketTrace],
+    folder,
+    *,
+    consumers: Sequence = (),
+    batch_windows: int | None = None,
+    mode: str = "exact",
+    sketch: SketchConfig | None = None,
+) -> int:
+    """THE window-fold loop: map windows through a backend into *folder*.
+
+    This is the one code path every execution surface drives — one-shot
+    :func:`analyze_trace`, :func:`repro.scenarios.run.analyze_scenario`
+    (and therefore every campaign worker cell), and the resident
+    ``repro serve`` daemon (:mod:`repro.service.engine`) all fold through
+    this exact loop, which is what makes their pooled outputs and alarm
+    sequences bit-identical over the same window stream.
+
+    Parameters
+    ----------
+    backend_impl:
+        The execution backend mapping windows to results.
+    windows:
+        The in-order window stream (any iterable of :class:`PacketTrace`).
+    folder:
+        The primary fold target — a
+        :class:`StreamAnalyzer`-shaped consumer (``update(result, pooled=)``
+        / ``quantities``), e.g. a :class:`StreamAnalyzer` or a
+        :class:`~repro.detect.analyzer.DetectingAnalyzer` wrapping one.
+    consumers:
+        Additional same-shaped consumers riding the identical in-order
+        result stream (e.g. the scenario runner's phase segmenter).  When
+        any are present — or when *folder* is itself a multi-consumer
+        wrapper — each window is pooled exactly once and the vectors are
+        shared, instead of every consumer re-pooling.
+    batch_windows / mode / sketch:
+        As in :func:`iter_window_results`.
+
+    Returns
+    -------
+    int
+        Number of windows folded by this call.
+    """
+    quantities = tuple(folder.quantities)
+    pairs = iter_window_results(
+        backend_impl, windows, batch_windows=batch_windows,
+        quantities=quantities, mode=mode, sketch=sketch,
+    )
+    # pre-pool only when more than one consumer would otherwise repeat the
+    # pooling work; a bare StreamAnalyzer pools internally either way, and
+    # both paths run pool_differential_cumulative on the same histogram, so
+    # the folded numbers are bit-identical regardless of this choice
+    share_pooling = bool(consumers) or not isinstance(folder, StreamAnalyzer)
+    n_folded = 0
+    for result, pooled in pairs:
+        if pooled is None and share_pooling:
+            pooled = {
+                q: pool_differential_cumulative(result.histograms[q]) for q in quantities
+            }
+        folder.update(result, pooled=pooled)
+        for consumer in consumers:
+            consumer.update(result, pooled=pooled)
+        n_folded += 1
+    return n_folded
+
+
 def analyze_windows(
     windows: Sequence[PacketTrace],
     *,
@@ -739,12 +807,10 @@ def analyze_windows(
     analyzer = StreamAnalyzer(
         n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
     )
-    pairs = iter_window_results(
-        backend_impl, windows, batch_windows=batch_windows,
-        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
+    fold_windows(
+        backend_impl, windows, analyzer, batch_windows=batch_windows,
+        mode=mode, sketch=analyzer.sketch_config,
     )
-    for result, pooled in pairs:
-        analyzer.update(result, pooled=pooled)
     return analyzer.result(stats={"backend": backend_impl.name})
 
 
@@ -850,12 +916,10 @@ def analyze_trace(
     analyzer = StreamAnalyzer(
         n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
     )
-    pairs = iter_window_results(
-        backend_impl, windows, batch_windows=batch_windows,
-        quantities=analyzer.quantities, mode=mode, sketch=analyzer.sketch_config,
+    fold_windows(
+        backend_impl, windows, analyzer, batch_windows=batch_windows,
+        mode=mode, sketch=analyzer.sketch_config,
     )
-    for result, pooled in pairs:
-        analyzer.update(result, pooled=pooled)
     stats: dict[str, object] = {"backend": backend_impl.name}
     if windower is not None:
         # read after the fold so the high-water mark covers the whole pass

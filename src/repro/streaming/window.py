@@ -29,6 +29,7 @@ __all__ = [
     "iter_windows_chunked",
     "iter_batches",
     "ChunkedWindower",
+    "PushWindower",
     "count_windows",
     "window_boundaries",
 ]
@@ -92,6 +93,83 @@ def iter_windows(trace: PacketTrace, n_valid: int) -> Iterator[PacketTrace]:
         yield trace.slice(int(boundaries[k]), int(boundaries[k + 1]))
 
 
+class PushWindower:
+    """Incremental push-driven windower: feed chunks, receive cut windows.
+
+    The *push* counterpart of :class:`ChunkedWindower` — and its actual
+    implementation: both cut with :func:`window_boundaries` over a buffer
+    that always starts at a window boundary, so for **any** re-batching of
+    the same packet stream the emitted windows are packet-identical to
+    ``iter_windows(full_trace, n_valid)``.  That invariance is what lets a
+    resident daemon fed arbitrary network batches reproduce a one-shot
+    analysis bit for bit (``tests/test_service_properties.py``).
+
+    Attributes
+    ----------
+    buffered_packets / buffered_valid:
+        Packets (total / valid) currently held for the next incomplete
+        window — at most one window's worth plus the tail of the last chunk.
+    max_buffered_packets:
+        High-water mark of the internal packet buffer.
+    n_chunks:
+        Number of chunks pushed so far.
+    """
+
+    def __init__(self, n_valid: int) -> None:
+        self.n_valid = check_positive_int(n_valid, "n_valid")
+        self.max_buffered_packets = 0
+        self.n_chunks = 0
+        # accumulate chunk arrays and only concatenate once a window's worth
+        # of valid packets is buffered — work per window stays O(window span)
+        # even when chunks are tiny relative to the window
+        self._parts: list[np.ndarray] = []
+        self._n_buffered = 0
+        self._valid_buffered = 0
+
+    @property
+    def buffered_packets(self) -> int:
+        """Packets currently buffered toward the next incomplete window."""
+        return self._n_buffered
+
+    @property
+    def buffered_valid(self) -> int:
+        """Valid packets currently buffered toward the next incomplete window."""
+        return self._valid_buffered
+
+    def push(self, chunk: PacketTrace) -> list[PacketTrace]:
+        """Feed one chunk; return the complete windows it just closed.
+
+        Returns ``[]`` while the buffer is still short of ``n_valid`` valid
+        packets.  A trailing partial window is never emitted — it stays
+        buffered until later pushes complete it (matching the drop-partial
+        semantics of :func:`iter_windows` at end of stream).
+        """
+        if not isinstance(chunk, PacketTrace):
+            raise TypeError(f"chunks must be PacketTrace instances, got {type(chunk).__name__}")
+        self.n_chunks += 1
+        if chunk.n_packets == 0:
+            return []
+        self._parts.append(chunk.packets)
+        self._n_buffered += chunk.n_packets
+        self._valid_buffered += chunk.n_valid
+        self.max_buffered_packets = max(self.max_buffered_packets, self._n_buffered)
+        if self._valid_buffered < self.n_valid:
+            return []
+        buffered = PacketTrace(
+            self._parts[0] if len(self._parts) == 1 else np.concatenate(self._parts)
+        )
+        boundaries = window_boundaries(buffered, self.n_valid)
+        windows = [
+            buffered.slice(int(boundaries[k]), int(boundaries[k + 1]))
+            for k in range(boundaries.size - 1)
+        ]
+        leftover = buffered.packets[int(boundaries[-1]):]
+        self._parts = [leftover] if leftover.size else []
+        self._n_buffered = int(leftover.size)
+        self._valid_buffered -= (boundaries.size - 1) * self.n_valid
+        return windows
+
+
 class ChunkedWindower:
     """Single-pass windower over an iterator of trace chunks.
 
@@ -99,7 +177,10 @@ class ChunkedWindower:
     off the front), so window boundaries computed chunk-locally coincide with
     the global boundaries of the concatenated trace: for any chunking of a
     trace, ``ChunkedWindower(chunks, n_valid)`` yields packet-identical
-    windows to ``iter_windows(full_trace, n_valid)``.
+    windows to ``iter_windows(full_trace, n_valid)``.  The cutting itself
+    lives in :class:`PushWindower` (this class is the pull-style adapter
+    over it), so batch analyses and the resident service daemon share one
+    windowing code path.
 
     Attributes
     ----------
@@ -114,36 +195,21 @@ class ChunkedWindower:
     def __init__(self, chunks: Iterable[PacketTrace], n_valid: int) -> None:
         self.n_valid = check_positive_int(n_valid, "n_valid")
         self._chunks = iter(chunks)
-        self.max_buffered_packets = 0
-        self.n_chunks = 0
+        self._pusher = PushWindower(self.n_valid)
+
+    @property
+    def max_buffered_packets(self) -> int:
+        """High-water mark of the internal packet buffer."""
+        return self._pusher.max_buffered_packets
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks consumed so far."""
+        return self._pusher.n_chunks
 
     def __iter__(self) -> Iterator[PacketTrace]:
-        # accumulate chunk arrays and only concatenate once a window's worth
-        # of valid packets is buffered — work per window stays O(window span)
-        # even when chunks are tiny relative to the window
-        parts: list[np.ndarray] = []
-        n_buffered = 0
-        valid_buffered = 0
         for chunk in self._chunks:
-            if not isinstance(chunk, PacketTrace):
-                raise TypeError(f"chunks must be PacketTrace instances, got {type(chunk).__name__}")
-            self.n_chunks += 1
-            if chunk.n_packets == 0:
-                continue
-            parts.append(chunk.packets)
-            n_buffered += chunk.n_packets
-            valid_buffered += chunk.n_valid
-            self.max_buffered_packets = max(self.max_buffered_packets, n_buffered)
-            if valid_buffered < self.n_valid:
-                continue
-            buffered = PacketTrace(parts[0] if len(parts) == 1 else np.concatenate(parts))
-            boundaries = window_boundaries(buffered, self.n_valid)
-            for k in range(boundaries.size - 1):
-                yield buffered.slice(int(boundaries[k]), int(boundaries[k + 1]))
-            leftover = buffered.packets[int(boundaries[-1]):]
-            parts = [leftover] if leftover.size else []
-            n_buffered = int(leftover.size)
-            valid_buffered -= (boundaries.size - 1) * self.n_valid
+            yield from self._pusher.push(chunk)
         # the trailing partial window (if any) is dropped, matching iter_windows
 
 

@@ -161,11 +161,18 @@ class TestHeartbeat:
     def test_heartbeat_keeps_long_cell_claims_fresh(self, tmp_path, monkeypatch):
         """While a slow cell computes, its lease never goes TTL-stale and a
         competing worker cannot claim it; afterwards the cell is stored and
-        the lease released."""
+        the lease released.
+
+        Deadline-based, no fixed sleeps: the slow cell holds its lease open
+        until the main thread has *observed* the lease for longer than the
+        TTL (so a dead heartbeat could not hide), with generous ceilings on
+        every wait so a loaded machine slows the test down instead of
+        flaking it."""
         real = runner_module.analyze_scenario
+        observed_enough = threading.Event()
 
         def slow(*args, **kwargs):
-            time.sleep(2.0)
+            observed_enough.wait(timeout=60)
             return real(*args, **kwargs)
 
         monkeypatch.setattr(runner_module, "analyze_scenario", slow)
@@ -186,18 +193,28 @@ class TestHeartbeat:
 
         worker = threading.Thread(target=work)
         worker.start()
-        deadline = time.time() + 30
+        deadline = time.time() + 120
+        first_seen = None
         stale_seen = False
         foreign_claims = 0
         while worker.is_alive() and time.time() < deadline:
             info = store.lease_info(spec.key, ttl=ttl)
             if info is not None:
+                now = time.time()
+                first_seen = first_seen if first_seen is not None else now
                 stale_seen = stale_seen or info["stale"]
                 if store.acquire_lease(spec.key, "thief", ttl=ttl):
                     foreign_claims += 1
                     store.release_lease(spec.key, "thief")
+                # the lease outlived 2x its TTL under observation: only the
+                # heartbeat can have kept it fresh — let the cell finish
+                if now - first_seen >= 2 * ttl:
+                    observed_enough.set()
             time.sleep(0.05)
-        worker.join(timeout=30)
+        observed_enough.set()  # unblock the worker on any exit path
+        worker.join(timeout=120)
+        assert not worker.is_alive(), "slow cell never finished"
+        assert first_seen is not None, "lease was never observed"
         assert result["status"] == "computed"
         assert not stale_seen
         assert foreign_claims == 0
@@ -354,8 +371,12 @@ class TestFleet:
         ]
         for proc in procs:
             proc.start()
+        # deadline-based with a generous ceiling: a stuck worker fails the
+        # test with a clear message instead of asserting on exitcode None
+        deadline = time.time() + 300
         for proc in procs:
-            proc.join(timeout=300)
+            proc.join(timeout=max(1.0, deadline - time.time()))
+            assert not proc.is_alive(), "fleet worker did not finish before the deadline"
             assert proc.exitcode == 0
         results = [json.loads(out.read_text(encoding="utf-8")) for out in outs]
         computed = [set(r["computed"]) for r in results]
@@ -391,7 +412,8 @@ class TestFleet:
                 time.sleep(0.05)
         assert lease is not None, "victim never claimed a lease"
         os.kill(victim.pid, signal.SIGKILL)
-        victim.join(timeout=30)
+        victim.join(timeout=60)
+        assert not victim.is_alive(), "SIGKILLed worker did not reap"
 
         # the kill froze the heartbeat mid-cell: the lease survives, the
         # cell is missing, and a short-TTL resume must take the claim over

@@ -534,3 +534,137 @@ class TestCampaignFleet:
         code = main(["campaign", "status", "--store", store, "--check"])
         assert code == 1
         assert "outstanding lease" in capsys.readouterr().out
+
+
+class TestServeAndJobs:
+    """``repro serve`` / ``repro jobs``: failure paths stay one clean line,
+    and the daemon round-trip works through the console commands."""
+
+    @staticmethod
+    def _assert_clean_error(capsys, code, *needles):
+        assert code == 2
+        captured = capsys.readouterr()
+        out = captured.out + captured.err
+        assert "Traceback" not in out
+        [error_line] = [line for line in out.splitlines() if line.startswith("error:")]
+        for needle in needles:
+            assert needle in error_line
+
+    @staticmethod
+    def _job_file(tmp_path, name="cli-job", n_valid=200):
+        import json
+
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps({"name": name, "window": {"n_valid": n_valid}}))
+        return path
+
+    def test_serve_missing_job_config(self, tmp_path, capsys):
+        code = main(["serve", "--job", str(tmp_path / "nope.json"), "--port", "0"])
+        self._assert_clean_error(capsys, code, "cannot read job config")
+
+    def test_serve_invalid_job_config(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "version": 99}')
+        code = main(["serve", "--job", str(path), "--port", "0"])
+        self._assert_clean_error(capsys, code, "version")
+
+    def test_serve_config_not_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        code = main(["serve", "--job", str(path), "--port", "0"])
+        self._assert_clean_error(capsys, code, "not valid JSON")
+
+    def test_serve_duplicate_job_names(self, tmp_path, capsys):
+        a = self._job_file(tmp_path, "same")
+        b = tmp_path / "same-again.json"
+        b.write_text(a.read_text())
+        code = main(["serve", "--job", str(a), "--job", str(b), "--port", "0"])
+        self._assert_clean_error(capsys, code, "duplicate job names")
+
+    def test_serve_store_path_is_a_file(self, tmp_path, capsys):
+        job = self._job_file(tmp_path)
+        bogus = tmp_path / "store-file"
+        bogus.write_text("not a directory")
+        code = main(["serve", "--job", str(job), "--port", "0",
+                     "--store", str(bogus)])
+        self._assert_clean_error(capsys, code, "--store", "not a directory")
+
+    def test_serve_port_already_bound(self, tmp_path, capsys):
+        import socket
+
+        job = self._job_file(tmp_path)
+        with socket.socket() as holder:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            code = main(["serve", "--job", str(job), "--port", str(port)])
+        self._assert_clean_error(capsys, code, "cannot serve", str(port))
+
+    def test_serve_bad_max_batch_bytes(self, tmp_path, capsys):
+        job = self._job_file(tmp_path)
+        code = main(["serve", "--job", str(job), "--port", "0",
+                     "--max-batch-bytes", "0"])
+        self._assert_clean_error(capsys, code, "--max-batch-bytes")
+
+    def test_jobs_submit_bad_config(self, tmp_path, capsys):
+        code = main(["jobs", "submit", str(tmp_path / "nope.json"),
+                     "--url", "http://127.0.0.1:1"])
+        self._assert_clean_error(capsys, code, "cannot read job config")
+
+    def test_jobs_unreachable_daemon(self, tmp_path, capsys):
+        job = self._job_file(tmp_path)
+        # port 1 is never listening; the client must fail cleanly, fast
+        code = main(["jobs", "submit", str(job), "--url", "http://127.0.0.1:1"])
+        self._assert_clean_error(capsys, code, "cannot reach daemon")
+        code = main(["jobs", "status", "--url", "http://127.0.0.1:1"])
+        self._assert_clean_error(capsys, code, "cannot reach daemon")
+
+    def test_jobs_status_min_windows_requires_name(self, capsys):
+        code = main(["jobs", "status", "--url", "http://127.0.0.1:1",
+                     "--min-windows", "1"])
+        self._assert_clean_error(capsys, code, "--min-windows", "job name")
+
+    def test_jobs_feed_unknown_scenario(self, capsys):
+        code = main(["jobs", "feed", "j", "--url", "http://127.0.0.1:1",
+                     "--scenario", "no-such-scenario"])
+        self._assert_clean_error(capsys, code, "unknown scenario")
+
+    def test_jobs_feed_bad_batch_packets(self, capsys):
+        code = main(["jobs", "feed", "j", "--url", "http://127.0.0.1:1",
+                     "--scenario", "stationary", "--batch-packets", "0"])
+        self._assert_clean_error(capsys, code, "--batch-packets")
+
+    def test_round_trip_through_console_commands(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import ServiceDaemon, load_job_config
+
+        daemon = ServiceDaemon([load_job_config(self._job_file(tmp_path))])
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert daemon.wait_ready(10)
+        url = f"http://127.0.0.1:{daemon.port}"
+        try:
+            extra = self._job_file(tmp_path, "second", n_valid=500)
+            assert main(["jobs", "submit", str(extra), "--url", url]) == 0
+            out = capsys.readouterr().out
+            assert "submitted job 'second'" in out
+            assert main(["jobs", "feed", "cli-job", "--url", url,
+                         "--scenario", "stationary",
+                         "--batch-packets", "5000"]) == 0
+            out = capsys.readouterr().out
+            assert "windows folded" in out
+            assert main(["jobs", "status", "cli-job", "--url", url,
+                         "--min-windows", "1", "--timeout", "10"]) == 0
+            out = capsys.readouterr().out
+            assert "cli-job" in out
+            # daemon-side rejection (unknown job) is a non-zero exit with the
+            # daemon's structured message, not a traceback
+            code = main(["jobs", "status", "ghost", "--url", url])
+            assert code == 1
+            out = capsys.readouterr().out
+            assert "unknown_job" in out and "Traceback" not in out
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=30)
+        assert not thread.is_alive()

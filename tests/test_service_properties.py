@@ -1,0 +1,188 @@
+"""Property harness: incremental service folds are bit-identical to one-shot.
+
+Hypothesis draws arbitrary re-batchings of a scenario's packet stream and
+feeds them through the service engine the way the daemon would — batch by
+batch, windows cut incrementally.  Whatever the batching, the pooled
+output vectors must be **bit-identical** (``tobytes()`` equality, not
+allclose) to the one-shot :func:`repro.scenarios.run.analyze_scenario`
+over the same stream, and every detector's alarm sequence must match
+window-for-window.  This is the service-layer extension of the engine's
+headline invariant: backends, chunkings — and now arbitrary client
+batchings — never change results.
+
+The final test drives the property over the real HTTP wire: one daemon,
+newline-delimited JSON batches, flush to a result store, stored floats
+compared exactly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns.store import ResultStore
+from repro.detect.detectors import DETECTOR_NAMES
+from repro.scenarios import analyze_scenario, get_scenario
+from repro.scenarios.source import ScenarioTraceSource
+from repro.service import JobConfig, JobEngine, ServiceDaemon, packet_batch_from_json
+from repro.streaming.packet import PacketTrace, concatenate_traces
+
+N_VALID = 2_000
+SCENARIO = "flash-crowd"
+QUANTITIES = ("source_fanout", "destination_fanin")
+
+
+@lru_cache(maxsize=1)
+def _full_stream() -> PacketTrace:
+    """The scenario's entire packet stream as one trace (cached)."""
+    scenario = get_scenario(SCENARIO)
+    return concatenate_traces(list(ScenarioTraceSource(scenario, seed=0)))
+
+
+@lru_cache(maxsize=2)
+def _one_shot(with_detection: bool):
+    """The one-shot reference run (cached across hypothesis examples)."""
+    kwargs = {"quantities": QUANTITIES}
+    if with_detection:
+        kwargs.update(detectors=tuple(DETECTOR_NAMES), detect_quantity="source_fanout")
+    return analyze_scenario(SCENARIO, N_VALID, seed=0, **kwargs)
+
+
+def _config(with_detection: bool) -> JobConfig:
+    data = {
+        "name": "prop",
+        "window": {"n_valid": N_VALID, "quantities": list(QUANTITIES)},
+    }
+    if with_detection:
+        data["detection"] = {
+            "detectors": list(DETECTOR_NAMES),
+            "quantity": "source_fanout",
+        }
+    return JobConfig.from_dict(data)
+
+
+def _rebatch(cuts: list[int]) -> list[PacketTrace]:
+    """Slice the full stream at *cuts* (arbitrary client batching)."""
+    packets = _full_stream().packets
+    bounds = [0, *sorted(set(cuts)), len(packets)]
+    return [
+        PacketTrace(packets[a:b]) for a, b in zip(bounds, bounds[1:]) if b > a
+    ]
+
+
+def _cuts():
+    n = _full_stream().n_packets
+    return st.lists(st.integers(1, n - 1), min_size=0, max_size=24, unique=True)
+
+
+def _assert_bit_identical(analysis, reference) -> None:
+    for quantity in QUANTITIES:
+        mine, theirs = analysis.pooled(quantity), reference.pooled(quantity)
+        assert mine.values.tobytes() == theirs.values.tobytes()
+        assert mine.sigma.tobytes() == theirs.sigma.tobytes()
+        assert np.array_equal(mine.bin_edges, theirs.bin_edges)
+        assert mine.total == theirs.total
+
+
+class TestRebatchingInvariance:
+    """Any client batching folds to the one-shot result, bit for bit."""
+
+    @given(cuts=_cuts())
+    @settings(max_examples=15, deadline=None)
+    def test_pooled_output_bit_identical(self, cuts):
+        engine = JobEngine(_config(with_detection=False))
+        for batch in _rebatch(cuts):
+            engine.ingest(batch)
+        reference = _one_shot(with_detection=False)
+        assert engine.windows_folded == reference.analysis.n_windows
+        _assert_bit_identical(engine.result(), reference.analysis)
+
+    @given(cuts=_cuts())
+    @settings(max_examples=10, deadline=None)
+    def test_alarm_sequences_identical(self, cuts):
+        engine = JobEngine(_config(with_detection=True))
+        for batch in _rebatch(cuts):
+            engine.ingest(batch)
+        reference = _one_shot(with_detection=True).detection
+        detection = engine.detection()
+        assert detection.alarms == reference.alarms
+        assert detection.quantity == reference.quantity
+        _assert_bit_identical(engine.result(), _one_shot(True).analysis)
+
+    @given(cuts=_cuts())
+    @settings(max_examples=10, deadline=None)
+    def test_json_wire_format_is_lossless(self, cuts):
+        """Serialising batches through the NDJSON wire changes nothing."""
+        engine = JobEngine(_config(with_detection=False))
+        for batch in _rebatch(cuts):
+            packets = batch.packets
+            wire = json.dumps(
+                {
+                    "src": packets["src"].tolist(),
+                    "dst": packets["dst"].tolist(),
+                    "time": packets["time"].tolist(),
+                    "size": packets["size"].tolist(),
+                    "valid": packets["valid"].tolist(),
+                }
+            )
+            engine.ingest(packet_batch_from_json(json.loads(wire)))
+        _assert_bit_identical(engine.result(), _one_shot(with_detection=False).analysis)
+
+
+class TestDaemonOverHttp:
+    """The property holds over the real wire, end to end."""
+
+    def test_http_fed_job_matches_one_shot(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        daemon = ServiceDaemon([_config(with_detection=True)], store=store)
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert daemon.wait_ready(10)
+        try:
+            # an awkward batching on purpose: prime-sized slices, several
+            # NDJSON lines per request
+            packets = _full_stream().packets
+            step, lines = 7_919, []
+            for start in range(0, len(packets), step):
+                part = packets[start : start + step]
+                lines.append(
+                    json.dumps(
+                        {
+                            "src": part["src"].tolist(),
+                            "dst": part["dst"].tolist(),
+                            "time": part["time"].tolist(),
+                            "size": part["size"].tolist(),
+                            "valid": part["valid"].tolist(),
+                        }
+                    )
+                )
+            for i in range(0, len(lines), 3):
+                body = "\n".join(lines[i : i + 3]) + "\n"
+                conn = http.client.HTTPConnection("127.0.0.1", daemon.port, timeout=10)
+                conn.request("POST", "/ingest/prop", body=body)
+                response = conn.getresponse()
+                assert response.status == 200, response.read()
+                response.read()
+                conn.close()
+        finally:
+            daemon.request_shutdown()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        reference = _one_shot(with_detection=True)
+        payload = store.get(daemon.registry.get("prop").config_hash)
+        assert payload["n_windows"] == reference.analysis.n_windows
+        for quantity in QUANTITIES:
+            stored = payload["pooled"][quantity]
+            expected = reference.analysis.pooled(quantity)
+            # exact float equality: the wire and the flush are lossless
+            assert stored["values"] == expected.values.tolist()
+            assert stored["sigma"] == expected.sigma.tolist()
+            assert stored["total"] == expected.total
+        alarms = payload["detection"]["alarms"]
+        assert {k: tuple(v) for k, v in alarms.items()} == dict(reference.detection.alarms)
