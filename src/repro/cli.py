@@ -55,9 +55,26 @@ from repro.streaming.parallel import BACKEND_NAMES
 from repro.streaming.pipeline import MODE_NAMES, analyze_trace
 from repro.streaming.sketch import SketchConfig
 from repro.streaming.trace_generator import TraceConfig, generate_trace_from_graph
-from repro.streaming.trace_io import load_trace, save_trace, save_trace_sharded, trace_format
+from repro.streaming.trace_io import (
+    LAYOUT_NAMES,
+    load_trace,
+    save_trace,
+    save_trace_sharded,
+    trace_format,
+)
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_transport_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--payload-transport`` knob of the process backend."""
+    from repro.streaming.shm import TRANSPORT_NAMES
+
+    parser.add_argument("--payload-transport", choices=list(TRANSPORT_NAMES), default=None,
+                        help="how the process backend ships window columns to workers: "
+                             "'shm' (shared-memory segments, zero-copy — the default "
+                             "where supported) or 'pickle' (bytes through each task); "
+                             "results are bit-identical either way")
 
 
 def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
@@ -130,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--shard-packets", type=int, default=None,
                      help="write a v2 sharded trace directory with this many packets per shard "
                           "(enables out-of-core analysis); default: single v1 .npz file")
+    gen.add_argument("--layout", choices=list(LAYOUT_NAMES), default="npz",
+                     help="shard encoding for --shard-packets: 'npz' (compressed, smallest) "
+                          "or 'npy' (uncompressed records that 'analyze --mmap' can memory-map)")
     gen.set_defaults(func=_cmd_generate)
 
     ana = subparsers.add_parser("analyze", help="windowed Figure-3 style analysis of a trace")
@@ -149,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--batch-windows", type=int, default=None,
                      help="windows moved per backend task / prefetch slot "
                           "(default: auto; an execution knob — never changes results)")
+    _add_transport_argument(ana)
+    ana.add_argument("--mmap", action="store_true",
+                     help="memory-map npy-layout shards instead of loading them "
+                          "(see 'generate --layout npy'); other formats fall back "
+                          "to the eager read")
     ana.add_argument("--mode", choices=list(MODE_NAMES), default="exact",
                      help="per-window analysis tier: 'exact' (fused kernel) or 'sketch' "
                           "(Count-Min/HyperLogLog estimates in sub-linear memory, with "
@@ -203,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "buffering bounded by --chunk-packets")
     scen_run.add_argument("--workers", type=int, default=None,
                           help="worker processes for the window map (process backend)")
+    _add_transport_argument(scen_run)
     scen_run.add_argument("--batch-windows", type=int, default=None,
                           help="windows moved per backend task / prefetch slot (default: auto)")
     scen_run.add_argument("--chunk-packets", type=int, default=None,
@@ -246,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     det_run.add_argument("--chunk-packets", type=int, default=None,
                          help="emit the scenario trace in chunks of this many packets "
                               "(bounds memory under --backend streaming)")
+    _add_transport_argument(det_run)
     det_run.add_argument("--batch-windows", type=int, default=None,
                          help="windows moved per backend task / prefetch slot "
                               "(default: auto; an execution knob — never changes alarms)")
@@ -414,8 +441,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     )
     trace = generate_trace_from_graph(palu, config, rng=args.seed + 1)
     if args.shard_packets is not None:
-        path = save_trace_sharded(trace, args.output, shard_packets=args.shard_packets)
+        path = save_trace_sharded(
+            trace, args.output, shard_packets=args.shard_packets, layout=args.layout
+        )
     else:
+        if args.layout != "npz":
+            print("error: --layout applies to sharded traces; pass --shard-packets too")
+            return 2
         path = save_trace(trace, args.output)
     print(f"wrote {trace.n_packets} packets ({trace.n_valid} valid) to {path}")
     return 0
@@ -429,6 +461,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.backend == "streaming":
         if args.workers is not None:
             print("note: --workers is ignored by the streaming backend (single-threaded fold)")
+        if args.payload_transport is not None:
+            print("error: --payload-transport applies to the process backend only")
+            return 2
         if Path(args.trace).exists() and trace_format(args.trace) == 1:
             print("note: v1 .npz archives load whole before chunking; generate with "
                   "--shard-packets for true out-of-core reads")
@@ -443,10 +478,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             batch_windows=args.batch_windows,
             mode=args.mode,
             sketch=sketch,
+            mmap=args.mmap,
         )
         stats = analysis.engine_stats
         print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
               f"peak buffered packets={stats.get('max_buffered_packets')}")
+    elif args.mmap:
+        # memory-mapped path: hand the engine the path so shards map, never load
+        print(f"mapping trace shards from {args.trace}")
+        analysis = analyze_trace(
+            args.trace,
+            args.nv,
+            quantities=tuple(args.quantities),
+            n_workers=args.workers,
+            backend=args.backend,
+            chunk_packets=args.chunk_packets,
+            batch_windows=args.batch_windows,
+            mode=args.mode,
+            sketch=sketch,
+            payload_transport=args.payload_transport,
+            mmap=True,
+        )
+        stats = analysis.engine_stats
+        print(f"engine: backend={stats['backend']}"
+              + (f" transport={stats['payload_transport']}" if "payload_transport" in stats else ""))
     else:
         trace = load_trace(args.trace)
         print(f"loaded {trace.n_packets} packets ({trace.n_valid} valid) from {args.trace}")
@@ -460,7 +515,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             batch_windows=args.batch_windows,
             mode=args.mode,
             sketch=sketch,
+            payload_transport=args.payload_transport,
         )
+        stats = analysis.engine_stats
+        if "payload_transport" in stats:
+            print(f"engine: backend={stats['backend']} transport={stats['payload_transport']}")
     print(f"{analysis.n_windows} windows of N_V = {args.nv} valid packets\n")
     print("Table-I aggregates per window:")
     print(format_table(analysis.aggregates_table()))
@@ -612,10 +671,12 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         batch_windows=args.batch_windows,
         mode=args.mode,
         sketch=sketch,
+        payload_transport=args.payload_transport,
     )
     stats = run.engine_stats
     print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
-          f"peak buffered packets={stats.get('max_buffered_packets')}")
+          f"peak buffered packets={stats.get('max_buffered_packets')}"
+          + (f" transport={stats['payload_transport']}" if "payload_transport" in stats else ""))
     print(f"{run.analysis.n_windows} windows of N_V = {args.nv} valid packets")
     for quantity in args.quantities:
         print(f"\nphase summary — {quantity}:")
@@ -681,10 +742,12 @@ def _cmd_detect_run(args: argparse.Namespace) -> int:
         detect_quantity=args.quantity,
         mode=args.mode,
         sketch=sketch,
+        payload_transport=args.payload_transport,
     )
     stats = run.engine_stats
     print(f"engine: backend={stats['backend']} chunks={stats.get('n_chunks')} "
-          f"peak buffered packets={stats.get('max_buffered_packets')}")
+          f"peak buffered packets={stats.get('max_buffered_packets')}"
+          + (f" transport={stats['payload_transport']}" if "payload_transport" in stats else ""))
     detection = run.detection
     boundaries = true_change_windows(run.phases.window_phase)
     print(f"{detection.n_windows} windows of N_V = {args.nv} valid packets; "

@@ -82,6 +82,7 @@ def analyze_scenario(
     detect_quantity: str | None = None,
     mode: str = "exact",
     sketch: SketchConfig | None = None,
+    payload_transport: str | None = None,
 ) -> ScenarioRun:
     """Generate and analyse a scenario in one bounded-memory pass.
 
@@ -122,6 +123,11 @@ def analyze_scenario(
         unchanged on sketched histograms — drift alarms at line rate in
         O(sketch) memory per window — and stay bit-identical across
         backends and chunkings for a fixed sketch seed.
+    payload_transport:
+        How the process backend ships window columns to its workers
+        (``"shm"``/``"pickle"``), as in
+        :func:`repro.streaming.pipeline.analyze_trace` — an execution
+        knob, never part of the result's identity.
 
     Returns
     -------
@@ -129,7 +135,7 @@ def analyze_scenario(
     """
     scenario = get_scenario(scenario)
     n_valid = check_positive_int(n_valid, "n_valid")
-    backend_impl = get_backend(backend, n_workers=n_workers)
+    backend_impl = get_backend(backend, n_workers=n_workers, payload_transport=payload_transport)
     if keep_windows is None:
         keep_windows = backend_impl.name != "streaming"
     if chunk_packets is None and backend_impl.name == "streaming":
@@ -166,6 +172,10 @@ def analyze_scenario(
     )
     stats = {
         "backend": backend_impl.name,
+        **(
+            {"payload_transport": backend_impl.payload_transport}
+            if hasattr(backend_impl, "payload_transport") else {}
+        ),
         "scenario": scenario.name,
         "n_phases": scenario.n_phases,
         "max_buffered_packets": windower.max_buffered_packets,

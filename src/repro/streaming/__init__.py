@@ -19,7 +19,9 @@ subpackage provides a laptop-scale replacement for that pipeline:
 * :mod:`repro.streaming.pipeline` — the single-pass analysis engine:
   trace → windows → histograms → running pooled distributions, executed on a
   pluggable backend (:mod:`repro.streaming.parallel` — serial, process pool,
-  or bounded-memory streaming with prefetch).
+  or bounded-memory streaming with prefetch),
+* :mod:`repro.streaming.shm` — the shared-memory zero-copy payload transport
+  the process backend defaults to where the platform supports it.
 """
 
 from repro.streaming.aggregates import (
@@ -53,6 +55,13 @@ from repro.streaming.pipeline import (
     analyze_windows,
     default_batch_windows,
 )
+from repro.streaming.shm import (
+    TRANSPORT_NAMES,
+    default_payload_transport,
+    publish_payloads,
+    reap_orphaned_segments,
+    shm_supported,
+)
 from repro.streaming.sketch import (
     DEFAULT_SKETCH_CONFIG,
     SketchBounds,
@@ -65,6 +74,7 @@ from repro.streaming.sparse_image import TrafficImage, traffic_image
 from repro.streaming.trace_generator import TraceConfig, generate_trace, generate_trace_from_graph
 from repro.streaming.trace_io import (
     ANALYSIS_COLUMNS,
+    LAYOUT_NAMES,
     iter_trace_chunks,
     load_trace,
     rechunk,
@@ -113,6 +123,11 @@ __all__ = [
     "default_worker_count",
     "usable_cpu_count",
     "shutdown_shared_pools",
+    "TRANSPORT_NAMES",
+    "default_payload_transport",
+    "publish_payloads",
+    "reap_orphaned_segments",
+    "shm_supported",
     "KERNEL_MAX_ID",
     "fused_products",
     "image_products",
@@ -123,6 +138,7 @@ __all__ = [
     "generate_trace",
     "generate_trace_from_graph",
     "ANALYSIS_COLUMNS",
+    "LAYOUT_NAMES",
     "iter_trace_chunks",
     "load_trace",
     "rechunk",

@@ -81,14 +81,20 @@ def usable_cpu_count() -> int:
 
 
 def default_worker_count(*, reserve: int = 2, maximum: int = 16) -> int:
-    """A sensible worker count: usable CPUs minus *reserve*, capped at *maximum*.
+    """A sensible worker count: usable CPUs minus a *scaled* reserve, capped.
 
-    On machines with few usable CPUs this degrades to 1, which
+    The reserve (head-room for the parent process and the OS) is scaled to
+    the machine: it only applies in full once at least ``reserve + 2`` CPUs
+    are usable.  A flat ``cpus - reserve`` silently downgraded 2–3-CPU boxes
+    to one worker — and therefore to serial execution — even though parallel
+    hardware existed; now 2 and 3 usable CPUs yield 2 workers (reserve 0
+    and 1 respectively), and only a true 1-CPU budget degrades to 1, which
     :meth:`ProcessBackend.map` treats as serial in-process execution — the
     right call when there is no parallel hardware to occupy.
     """
     cpus = usable_cpu_count()
-    return max(1, min(cpus - reserve, maximum))
+    scaled_reserve = min(reserve, max(0, cpus - 2))
+    return max(1, min(cpus - scaled_reserve, maximum))
 
 
 def default_chunksize(n_items: int, n_workers: int) -> int:
@@ -119,6 +125,43 @@ def _start_method() -> str:
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
 
+class _PoolEntry:
+    """One cached pool generation plus its in-flight map bookkeeping.
+
+    The entry *is* the generation tag: a failed map retires its entry (so
+    new maps start a fresh pool) but the pool itself is only terminated once
+    the last in-flight map checks in.  Without this, one failed map would
+    terminate a pool that a concurrent map — a daemon job and a campaign
+    worker sharing the process, or two threads of one service — was still
+    iterating, poisoning an innocent caller's results.
+    """
+
+    __slots__ = ("key", "pool", "active", "retired")
+
+    def __init__(self, key, pool) -> None:
+        self.key = key
+        self.pool = pool
+        self.active = 0  # maps currently iterating this pool
+        self.retired = False  # no new maps; terminate when active hits 0
+
+
+def _current_entry(n_workers: int) -> _PoolEntry:
+    """The live cache entry for *n_workers*, creating pool + entry on demand."""
+    global _POOLS_ATEXIT_REGISTERED
+    n_workers = check_positive_int(n_workers, "n_workers")
+    key = (_start_method(), n_workers)
+    with _POOLS_LOCK:
+        entry = _POOLS.get(key)
+        if entry is None:
+            _logger.debug("starting shared %s pool with %d workers", *key)
+            pool = multiprocessing.get_context(key[0]).Pool(processes=n_workers)
+            entry = _POOLS[key] = _PoolEntry(key, pool)
+            if not _POOLS_ATEXIT_REGISTERED:
+                atexit.register(shutdown_shared_pools)
+                _POOLS_ATEXIT_REGISTERED = True
+    return entry
+
+
 def shared_pool(n_workers: int):
     """The process-wide worker pool for *n_workers*, started on first use.
 
@@ -127,39 +170,57 @@ def shared_pool(n_workers: int):
     cached pools are terminated at interpreter exit (or explicitly via
     :func:`shutdown_shared_pools`).
     """
-    global _POOLS_ATEXIT_REGISTERED
-    n_workers = check_positive_int(n_workers, "n_workers")
-    key = (_start_method(), n_workers)
-    with _POOLS_LOCK:
-        pool = _POOLS.get(key)
-        if pool is None:
-            _logger.debug("starting shared %s pool with %d workers", *key)
-            pool = multiprocessing.get_context(key[0]).Pool(processes=n_workers)
-            _POOLS[key] = pool
-            if not _POOLS_ATEXIT_REGISTERED:
-                atexit.register(shutdown_shared_pools)
-                _POOLS_ATEXIT_REGISTERED = True
-    return pool
+    return _current_entry(n_workers).pool
 
 
-def _discard_shared_pool(n_workers: int) -> None:
-    """Terminate and forget one cached pool (its state is no longer trusted)."""
-    key = (_start_method(), n_workers)
+def _checkout_shared_pool(n_workers: int) -> _PoolEntry:
+    """Claim the current pool generation for one map (pairs with checkin)."""
+    while True:
+        entry = _current_entry(n_workers)
+        with _POOLS_LOCK:
+            if not entry.retired:  # else: raced a retire; take a fresh pool
+                entry.active += 1
+                return entry
+
+
+def _checkin_shared_pool(entry: _PoolEntry, *, failed: bool) -> None:
+    """Release one map's claim; a failed map retires its pool generation.
+
+    Retiring removes the entry from the cache (new maps start a clean pool)
+    but defers termination until every in-flight map on the same generation
+    has checked in — concurrent maps on a shared pool must never have their
+    workers killed by a neighbour's failure.
+    """
     with _POOLS_LOCK:
-        pool = _POOLS.pop(key, None)
-    if pool is not None:
-        pool.terminate()
-        pool.join()
+        entry.active -= 1
+        if failed and not entry.retired:
+            entry.retired = True
+            if _POOLS.get(entry.key) is entry:
+                del _POOLS[entry.key]
+        terminate = entry.retired and entry.active == 0
+    if terminate:
+        entry.pool.terminate()
+        entry.pool.join()
 
 
 def shutdown_shared_pools() -> None:
-    """Terminate every cached shared pool (idempotent; re-use restarts them)."""
+    """Retire every cached shared pool (idempotent; re-use restarts them).
+
+    Pools with no map in flight are terminated immediately; a pool still
+    being iterated is terminated by the last map's checkin instead, so a
+    shutdown cannot poison concurrent results.
+    """
     with _POOLS_LOCK:
-        pools = list(_POOLS.values())
+        entries = list(_POOLS.values())
         _POOLS.clear()
-    for pool in pools:
-        pool.terminate()
-        pool.join()
+        to_terminate = []
+        for entry in entries:
+            entry.retired = True
+            if entry.active == 0:
+                to_terminate.append(entry)
+    for entry in to_terminate:
+        entry.pool.terminate()
+        entry.pool.join()
 
 
 @runtime_checkable
@@ -201,15 +262,29 @@ class ProcessBackend:
 
     Maps run on the warm :func:`shared_pool` for the backend's worker
     count: the workers persist across calls, so only the first map pays
-    pool start-up.  A map that raises discards the shared pool (worker
-    state is no longer trusted); the next map starts a fresh one.
+    pool start-up.  A map that raises retires its pool generation (worker
+    state is no longer trusted): the next map starts a fresh pool, while
+    concurrent maps still iterating the retired pool finish unharmed.
     """
 
     name = "process"
 
-    def __init__(self, n_workers: int | None = None, *, chunksize: int | None = None) -> None:
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        *,
+        chunksize: int | None = None,
+        payload_transport: str | None = None,
+    ) -> None:
+        from repro.streaming.shm import check_payload_transport
+
         self.n_workers = default_worker_count() if n_workers is None else check_positive_int(n_workers, "n_workers")
         self.chunksize = None if chunksize is None else check_positive_int(chunksize, "chunksize")
+        #: How the batched payload path ships window columns to workers:
+        #: ``"shm"`` (shared-memory segments, zero-copy, the default where
+        #: supported) or ``"pickle"`` (column bytes through the task pipe).
+        #: Bit-identical output either way.
+        self.payload_transport = check_payload_transport(payload_transport)
 
     def effective_workers(self, n_items: int) -> int:
         """Workers a map over *n_items* would actually occupy (1 = serial)."""
@@ -247,9 +322,10 @@ class ProcessBackend:
 
     @staticmethod
     def _imap(func, item_list, n_workers, chunksize) -> Iterator:
-        pool = shared_pool(n_workers)
+        entry = _checkout_shared_pool(n_workers)
+        failed = False
         try:
-            yield from pool.imap(func, item_list, chunksize=chunksize)
+            yield from entry.pool.imap(func, item_list, chunksize=chunksize)
         except GeneratorExit:
             # the consumer abandoned the iteration — no worker failed; the
             # pool is healthy and in-flight tasks simply drain in the
@@ -257,9 +333,19 @@ class ProcessBackend:
             raise
         except BaseException:
             # a failed map leaves in-flight tasks of unknown state behind;
-            # drop the pool so the next map starts clean
-            _discard_shared_pool(n_workers)
+            # retire this pool generation so the next map starts clean —
+            # concurrent maps already iterating it finish first (checkin
+            # terminates only once the last one releases its claim)
+            failed = True
             raise
+        finally:
+            _checkin_shared_pool(entry, failed=failed)
+
+
+#: How long a map teardown waits for the prefetch producer thread to exit
+#: before logging that it is still alive (it cannot be killed; an input
+#: iterator blocked in I/O pins it until that read returns).
+_PRODUCER_JOIN_TIMEOUT = 5.0
 
 
 class _PrefetchFailure:
@@ -312,7 +398,13 @@ class StreamingBackend:
                     if not put(item):
                         return
             except BaseException as error:  # noqa: BLE001 - forwarded to consumer
-                put(_PrefetchFailure(error))
+                if not put(_PrefetchFailure(error)):
+                    # the consumer is gone and will never observe this error;
+                    # a silent drop would bury a real producer failure
+                    _logger.warning(
+                        "streaming producer error dropped after the consumer "
+                        "abandoned the map: %r", error,
+                    )
             else:
                 put(done)
 
@@ -328,7 +420,23 @@ class StreamingBackend:
                 yield func(item)
         finally:
             stop.set()
-            producer.join(timeout=5.0)
+            # drain the queue so a producer blocked on a full slot wakes on
+            # its very next put attempt instead of waiting out put timeouts
+            while True:
+                try:
+                    fence.get_nowait()
+                except queue.Empty:
+                    break
+            producer.join(timeout=_PRODUCER_JOIN_TIMEOUT)
+            if producer.is_alive():
+                # honest deadline: say so when the thread outlives the map
+                # (an input iterator blocked in I/O can pin it) instead of
+                # silently pretending the join succeeded
+                _logger.warning(
+                    "streaming producer thread still alive %.1fs after map "
+                    "teardown; the input iterator appears blocked",
+                    _PRODUCER_JOIN_TIMEOUT,
+                )
 
 
 def get_backend(
@@ -337,6 +445,7 @@ def get_backend(
     n_workers: int | None = None,
     chunksize: int | None = None,
     prefetch: int = 4,
+    payload_transport: str | None = None,
 ) -> ExecutionBackend:
     """Resolve a backend specification to an :class:`ExecutionBackend`.
 
@@ -346,20 +455,33 @@ def get_backend(
     ``n_workers > 1``, then a process pool.  With ``backend="process"`` an
     explicit *n_workers* is honoured exactly (``1`` degrades to serial
     execution, logged); ``None`` picks :func:`default_worker_count`.
+    *payload_transport* selects how the process backend ships window
+    columns (:data:`repro.streaming.shm.TRANSPORT_NAMES`); requesting it
+    for a backend that ships no payloads is an error, not a silent no-op.
     """
     if backend is None:
         if n_workers is not None and n_workers > 1:
-            return ProcessBackend(n_workers, chunksize=chunksize)
-        return SerialBackend()
+            return ProcessBackend(n_workers, chunksize=chunksize, payload_transport=payload_transport)
+        backend = "serial"
     if isinstance(backend, str):
+        if backend == "process":
+            return ProcessBackend(n_workers, chunksize=chunksize, payload_transport=payload_transport)
+        if payload_transport is not None:
+            raise ValueError(
+                f"payload_transport={payload_transport!r} only applies to the process "
+                f"backend, not {backend!r}"
+            )
         if backend == "serial":
             return SerialBackend()
-        if backend == "process":
-            return ProcessBackend(n_workers, chunksize=chunksize)
         if backend == "streaming":
             return StreamingBackend(prefetch=prefetch)
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}")
     if isinstance(backend, ExecutionBackend):
+        if payload_transport is not None:
+            raise ValueError(
+                "payload_transport cannot be combined with an already-built backend "
+                "instance; pass it to the ProcessBackend constructor instead"
+            )
         return backend
     raise TypeError(f"backend must be a name, ExecutionBackend, or None, got {type(backend).__name__}")
 

@@ -36,6 +36,7 @@ from repro.analysis.moments import StreamingMoments
 from repro.analysis.pooling import PooledDistribution, pool_differential_cumulative
 from repro.core.zm_fit import ZMFitResult, fit_zipf_mandelbrot
 import repro.streaming.kernel as _kernel
+import repro.streaming.shm as _shm
 from repro.streaming.aggregates import QUANTITY_NAMES, AggregateProperties, compute_aggregates, quantity_histograms
 from repro.streaming.packet import PacketTrace
 from repro.streaming.parallel import (
@@ -582,6 +583,43 @@ def _analyze_payload_batch(
     return tuple(pairs)
 
 
+def _analyze_ref_batch(
+    batch: Tuple["_shm.ShmWindowRef", ...],
+    quantities: Sequence[str] = QUANTITY_NAMES,
+) -> Tuple[_ResultPair, ...]:
+    """Shared-memory sibling of :func:`_analyze_payload_batch`.
+
+    The batch carries :class:`~repro.streaming.shm.ShmWindowRef` records
+    instead of column arrays; the worker attaches the published segment and
+    analyses zero-copy views of the shared pages.  The returned pairs are
+    fresh arrays (aggregates, histograms, pooled vectors), so nothing
+    aliases the segment once the task returns.
+    """
+    pairs = []
+    with _shm.attached_payloads() as resolve:
+        for ref in batch:
+            aggregates, histograms = _kernel.payload_products(resolve(ref))
+            result = WindowResult(aggregates=aggregates, histograms=histograms)
+            pooled = {q: pool_differential_cumulative(histograms[q]) for q in quantities}
+            pairs.append((result, pooled))
+    return tuple(pairs)
+
+
+def _analyze_ref_batch_sketch(
+    batch: Tuple["_shm.ShmWindowRef", ...],
+    quantities: Sequence[str] = QUANTITY_NAMES,
+    config: SketchConfig = DEFAULT_SKETCH_CONFIG,
+) -> Tuple[_ResultPair, ...]:
+    """Sketch-mode worker task over shared-memory window references."""
+    pairs = []
+    with _shm.attached_payloads() as resolve:
+        for ref in batch:
+            result = _sketch_payload_result(resolve(ref), config)
+            pooled = {q: pool_differential_cumulative(result.histograms[q]) for q in quantities}
+            pairs.append((result, pooled))
+    return tuple(pairs)
+
+
 def _sketch_payload_result(
     payload: _kernel.WindowPayload, config: SketchConfig
 ) -> WindowResult:
@@ -643,7 +681,11 @@ def iter_window_results(
       per task; workers return results *and* the pooled vectors of
       *quantities*, so per-window pickle traffic and task count both drop
       by ~an order of magnitude versus mapping whole :class:`PacketTrace`
-      windows one at a time.
+      windows one at a time.  How the column bytes reach the workers is the
+      backend's ``payload_transport``: ``"shm"`` (the default where
+      supported) publishes them once into a shared-memory segment
+      (:mod:`repro.streaming.shm`) and ships only references, ``"pickle"``
+      ships the bytes through each task — bit-identical results either way.
       When the backend cannot occupy more than one worker the map degrades
       to the serial path (identical code, no payload round-trip).
     * **streaming** — windows move through the prefetch queue in batches of
@@ -692,9 +734,35 @@ def iter_window_results(
         # an oversized explicit batch must not starve the pool below one
         # task per worker
         batch = min(batch, max(1, -(-n // backend_impl.n_workers)))
+        transport = backend_impl.payload_transport
+        if transport == "shm":
+            # zero-copy path: columns go into one named shared-memory
+            # segment; tasks carry only (segment, offset, dtype) references
+            # and workers analyse views of the shared pages.  The segment is
+            # closed and unlinked the moment the fold completes (or fails).
+            published = _shm.publish_payloads(payloads)
+            del payloads  # the segment holds the bytes now; drop the heap copy
+            batches = list(iter_batches(published.refs, batch))
+            _logger.debug(
+                "process backend: %d windows -> %d batched tasks of <= %d windows "
+                "(shm transport, segment %s, %d bytes)",
+                n, len(batches), batch, published.segment, published.nbytes,
+            )
+            if sketch_config is not None:
+                task = functools.partial(
+                    _analyze_ref_batch_sketch,
+                    quantities=tuple(quantities),
+                    config=sketch_config,
+                )
+            else:
+                task = functools.partial(_analyze_ref_batch, quantities=tuple(quantities))
+            with published:
+                for pair_batch in backend_impl.map(task, batches):
+                    yield from pair_batch
+            return
         batches = list(iter_batches(payloads, batch))
         _logger.debug(
-            "process backend: %d windows -> %d batched tasks of <= %d windows",
+            "process backend: %d windows -> %d batched tasks of <= %d windows (pickle transport)",
             n, len(batches), batch,
         )
         if sketch_config is not None:
@@ -801,9 +869,10 @@ def analyze_windows(
     batch_windows: int | None = None,
     mode: str = "exact",
     sketch: SketchConfig | None = None,
+    payload_transport: str | None = None,
 ) -> WindowedAnalysis:
     """Analyse pre-cut windows (used directly by the parallel benchmarks)."""
-    backend_impl = get_backend(backend, n_workers=n_workers)
+    backend_impl = get_backend(backend, n_workers=n_workers, payload_transport=payload_transport)
     analyzer = StreamAnalyzer(
         n_valid, quantities, keep_windows=keep_windows, mode=mode, sketch=sketch
     )
@@ -811,7 +880,15 @@ def analyze_windows(
         backend_impl, windows, analyzer, batch_windows=batch_windows,
         mode=mode, sketch=analyzer.sketch_config,
     )
-    return analyzer.result(stats={"backend": backend_impl.name})
+    return analyzer.result(stats=_engine_stats(backend_impl))
+
+
+def _engine_stats(backend_impl: ExecutionBackend) -> dict:
+    """Base ``engine_stats`` of one run: backend name plus its transport."""
+    stats: dict[str, object] = {"backend": backend_impl.name}
+    if isinstance(backend_impl, ProcessBackend):
+        stats["payload_transport"] = backend_impl.payload_transport
+    return stats
 
 
 def analyze_trace(
@@ -827,6 +904,8 @@ def analyze_trace(
     batch_windows: int | None = None,
     mode: str = "exact",
     sketch: SketchConfig | None = None,
+    payload_transport: str | None = None,
+    mmap: bool = False,
 ) -> WindowedAnalysis:
     """Window a trace and analyse every complete ``N_V`` window in one pass.
 
@@ -877,20 +956,33 @@ def analyze_trace(
         (:class:`~repro.streaming.sketch.SketchConfig`); ``None`` uses
         :data:`~repro.streaming.sketch.DEFAULT_SKETCH_CONFIG`.  Rejected
         in exact mode.
+    payload_transport:
+        How the process backend ships window columns to its workers:
+        ``"shm"`` (shared-memory segments, the default where supported) or
+        ``"pickle"`` (bytes through each task).  Results are bit-identical
+        either way; only valid when this call builds the backend (pass it
+        to the :class:`~repro.streaming.parallel.ProcessBackend`
+        constructor when supplying an instance).
+    mmap:
+        Memory-map stored-trace shards instead of eagerly loading them
+        (uncompressed v2 ``npy`` layouts only; other layouts fall back to
+        the eager read).  With the process backend, fork'd workers then
+        share page cache instead of heap copies.  Ignored for in-memory
+        traces.
 
     Returns
     -------
     WindowedAnalysis
     """
     n_valid = check_positive_int(n_valid, "n_valid")
-    backend_impl = get_backend(backend, n_workers=n_workers)
+    backend_impl = get_backend(backend, n_workers=n_workers, payload_transport=payload_transport)
     if keep_windows is None:
         keep_windows = backend_impl.name != "streaming"
 
     windower: ChunkedWindower | None = None
     if isinstance(trace, (str, os.PathLike, Path)):
         # the analysis never reads time/size, so skip decoding those columns
-        chunks = iter_trace_chunks(trace, chunk_packets, columns=ANALYSIS_COLUMNS)
+        chunks = iter_trace_chunks(trace, chunk_packets, columns=ANALYSIS_COLUMNS, mmap=mmap)
         windower = ChunkedWindower(chunks, n_valid)
         windows: Iterator[PacketTrace] = iter(windower)
     elif isinstance(trace, PacketTrace):
@@ -920,7 +1012,7 @@ def analyze_trace(
         backend_impl, windows, analyzer, batch_windows=batch_windows,
         mode=mode, sketch=analyzer.sketch_config,
     )
-    stats: dict[str, object] = {"backend": backend_impl.name}
+    stats = _engine_stats(backend_impl)
     if windower is not None:
         # read after the fold so the high-water mark covers the whole pass
         stats["max_buffered_packets"] = windower.max_buffered_packets

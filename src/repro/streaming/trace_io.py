@@ -6,10 +6,15 @@ Two on-disk formats are supported:
   columns plus a format-version marker.  Minimal and convenient, but it can
   only be read whole, so analysis memory grows with trace length.
 * **v2** — a *sharded* trace: a directory containing a ``manifest.json``
-  plus consecutive ``shard-NNNNN.npz`` files, each holding a bounded number
+  plus consecutive ``shard-NNNNN`` files, each holding a bounded number
   of packets.  Shards can be read one at a time, which is what lets the
   streaming engine (:func:`repro.streaming.pipeline.analyze_trace` with
-  ``backend="streaming"``) analyse traces far larger than memory.
+  ``backend="streaming"``) analyse traces far larger than memory.  Two
+  shard layouts exist: ``"npz"`` (compressed archives, the default — small
+  on disk, must be decompressed to read) and ``"npy"`` (uncompressed
+  structured-record arrays that :func:`iter_trace_chunks` can memory-map
+  with ``mmap=True``, so fork'd analysis workers share page cache instead
+  of per-process heap copies).
 
 :func:`save_trace` / :func:`load_trace` keep their v1 behaviour
 (:func:`load_trace` transparently reads either format);
@@ -29,6 +34,7 @@ from typing import Iterable, Iterator, Union
 
 import numpy as np
 
+from repro._util.logging import get_logger
 from repro._util.validation import check_positive_int
 from repro.streaming.packet import PACKET_DTYPE, PacketTrace
 
@@ -42,7 +48,10 @@ __all__ = [
     "read_json",
     "write_json_atomic",
     "ANALYSIS_COLUMNS",
+    "LAYOUT_NAMES",
 ]
+
+_logger = get_logger("streaming.trace_io")
 
 
 def write_json_atomic(path: Union[str, os.PathLike], payload) -> Path:
@@ -86,6 +95,8 @@ _SHARDED_VERSION = 2
 _MANIFEST_NAME = "manifest.json"
 #: Default shard size (packets) for :func:`save_trace_sharded`.
 DEFAULT_SHARD_PACKETS = 250_000
+#: Shard layouts of the v2 format: compressed archives or mmappable records.
+LAYOUT_NAMES = ("npz", "npy")
 
 _COLUMNS = ("src", "dst", "time", "size", "valid")
 
@@ -151,6 +162,7 @@ def save_trace_sharded(
     path: Union[str, os.PathLike],
     *,
     shard_packets: int = DEFAULT_SHARD_PACKETS,
+    layout: str = "npz",
 ) -> Path:
     """Write a v2 sharded trace directory and return its path.
 
@@ -158,9 +170,17 @@ def save_trace_sharded(
     traces can be written without ever being materialized); chunks are
     re-cut into shards of exactly *shard_packets* packets (last one short).
     Re-saving over an existing sharded trace replaces it: stale shards from
-    a previous (longer) save are removed so the directory never mixes runs.
+    a previous (longer) save are removed so the directory never mixes runs
+    or layouts.
+
+    *layout* picks the shard encoding: ``"npz"`` (compressed column
+    archives, smallest on disk) or ``"npy"`` (uncompressed structured
+    record arrays — larger, but :func:`iter_trace_chunks` can memory-map
+    them with ``mmap=True`` so parallel analysis shares page cache).
     """
     shard_packets = check_positive_int(shard_packets, "shard_packets")
+    if layout not in LAYOUT_NAMES:
+        raise ValueError(f"unknown shard layout {layout!r}; valid layouts: {LAYOUT_NAMES}")
     path = Path(path)
     if path.exists() and not path.is_dir():
         raise ValueError(
@@ -168,8 +188,9 @@ def save_trace_sharded(
             "directory — pick another path or remove the file first"
         )
     path.mkdir(parents=True, exist_ok=True)
-    for stale in path.glob("shard-*.npz"):
-        stale.unlink()
+    for extension in LAYOUT_NAMES:
+        for stale in path.glob(f"shard-*.{extension}"):
+            stale.unlink()
     manifest_path = path / _MANIFEST_NAME
     if manifest_path.exists():
         manifest_path.unlink()
@@ -178,11 +199,16 @@ def save_trace_sharded(
     n_packets = 0
     n_valid = 0
     for index, shard in enumerate(rechunk(chunks, shard_packets)):
-        name = f"shard-{index:05d}.npz"
-        np.savez_compressed(
-            path / name,
-            **{column: shard.packets[column] for column in _COLUMNS},
-        )
+        name = f"shard-{index:05d}.{layout}"
+        if layout == "npy":
+            # ascontiguousarray: a sliced/strided chunk must land on disk as
+            # plain consecutive records or np.load(mmap_mode=...) misreads it
+            np.save(path / name, np.ascontiguousarray(shard.packets))
+        else:
+            np.savez_compressed(
+                path / name,
+                **{column: shard.packets[column] for column in _COLUMNS},
+            )
         shards.append({"file": name, "n_packets": shard.n_packets, "n_valid": shard.n_valid})
         n_packets += shard.n_packets
         n_valid += shard.n_valid
@@ -190,6 +216,7 @@ def save_trace_sharded(
         path / _MANIFEST_NAME,
         {
             "version": _SHARDED_VERSION,
+            "layout": layout,
             "shard_packets": shard_packets,
             "n_packets": n_packets,
             "n_valid": n_valid,
@@ -224,6 +251,7 @@ def iter_trace_chunks(
     chunk_packets: int | None = None,
     *,
     columns: tuple | None = None,
+    mmap: bool = False,
 ) -> Iterator[PacketTrace]:
     """Stream a stored trace as consecutive :class:`PacketTrace` chunks.
 
@@ -239,27 +267,55 @@ def iter_trace_chunks(
     ``columns`` restricts which packet columns are decoded (e.g.
     :data:`ANALYSIS_COLUMNS`); the rest read as zeros and their compressed
     archive members are skipped entirely.  Only opt in when downstream code
-    never reads the omitted columns.
+    never reads the omitted columns.  (No-op for ``npy``-layout shards,
+    whose records are read — or mapped — whole.)
+
+    ``mmap=True`` memory-maps ``npy``-layout shards (``np.load(...,
+    mmap_mode="r")``) instead of copying them onto the heap: chunks become
+    read-only views of the file's pages, which the OS shares across fork'd
+    analysis workers.  Traces in any other layout (compressed ``npz``
+    shards, v1 archives) cannot be mapped and fall back to the eager read
+    with an info-level log — results are identical either way.
     """
     path = Path(path)
     if chunk_packets is not None:
         chunk_packets = check_positive_int(chunk_packets, "chunk_packets")
     if trace_format(path) == _SHARDED_VERSION:
-        chunks = _iter_shards(path, columns)
+        chunks = _iter_shards(path, columns, mmap=mmap)
         if chunk_packets is not None:
             chunks = rechunk(chunks, chunk_packets)
         return chunks
+    if mmap:
+        _logger.info("v1 .npz traces cannot be memory-mapped; reading %s eagerly", path)
     trace = PacketTrace(_load_v1_records(path, columns))
     # iter_chunks already cuts to the exact size; no rechunk pass needed
     return trace.iter_chunks(chunk_packets or max(1, trace.n_packets))
 
 
-def _iter_shards(path: Path, columns: tuple | None = None) -> Iterator[PacketTrace]:
+def _iter_shards(
+    path: Path, columns: tuple | None = None, *, mmap: bool = False
+) -> Iterator[PacketTrace]:
     """Yield the shards of a v2 trace in manifest order, one at a time."""
     manifest = _read_manifest(path)
+    layout = str(manifest.get("layout", "npz"))
+    if mmap and layout != "npy":
+        _logger.info(
+            "sharded trace %s stores compressed %s shards, which cannot be "
+            "memory-mapped; reading eagerly (re-save with layout='npy' to mmap)",
+            path, layout,
+        )
+        mmap = False
     for entry in manifest["shards"]:
-        with np.load(path / entry["file"]) as archive:
-            records = _records_from_archive(archive, columns)
+        if layout == "npy":
+            records = np.load(path / entry["file"], mmap_mode="r" if mmap else None)
+            if records.dtype != PACKET_DTYPE:
+                raise ValueError(
+                    f"shard {entry['file']} of {path} has dtype {records.dtype}, "
+                    "not PACKET_DTYPE; the sharded trace is corrupt"
+                )
+        else:
+            with np.load(path / entry["file"]) as archive:
+                records = _records_from_archive(archive, columns)
         yield PacketTrace(records)
 
 

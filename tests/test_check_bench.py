@@ -54,6 +54,48 @@ class TestMachineGate:
         assert reason is not None and "cpu" in reason
 
 
+class TestParallelEvidenceRefusal:
+    def _claiming(self, *, usable_cpus: int, speedup: float) -> dict:
+        artifact = _artifact(1.0, usable_cpus=usable_cpus)
+        artifact["speedup_vs_serial"] = {
+            "medium": {"serial": 1.0, "process-shm": speedup}
+        }
+        return artifact
+
+    def test_one_cpu_parallel_claim_is_refused(self):
+        reason = check_bench.parallel_evidence_refusal(
+            self._claiming(usable_cpus=1, speedup=1.4)
+        )
+        assert reason is not None
+        assert "REFUSED" in reason and "usable_cpus=1" in reason
+        assert "1.40x" in reason and "process-shm" in reason
+
+    def test_multi_core_claim_is_fine(self):
+        assert check_bench.parallel_evidence_refusal(
+            self._claiming(usable_cpus=8, speedup=3.2)
+        ) is None
+
+    def test_one_cpu_without_a_winning_claim_is_fine(self):
+        # noise-band "speedups" (<= 1.05x) and slowdowns do not trip the guard
+        assert check_bench.parallel_evidence_refusal(
+            self._claiming(usable_cpus=1, speedup=1.03)
+        ) is None
+
+    def test_serial_entry_never_counts_as_a_claim(self):
+        artifact = _artifact(1.0, usable_cpus=1)
+        artifact["speedup_vs_serial"] = {"serial": 2.0}
+        assert check_bench.parallel_evidence_refusal(artifact) is None
+
+    def test_check_artifact_skips_loudly(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(self._claiming(usable_cpus=1, speedup=2.0)), encoding="utf-8")
+        monkeypatch.setattr(check_bench, "committed_baseline", lambda name, ref: _artifact(1.0))
+        status, messages = check_bench.check_artifact(path, "HEAD", 2.0)
+        assert status == "skip"
+        assert "REFUSED as parallel evidence" in messages[0]
+        assert check_bench.main([str(path)]) == 0  # a refusal is loud, not fatal
+
+
 class TestCheckArtifact:
     def _write(self, tmp_path, payload) -> Path:
         path = tmp_path / "BENCH_demo.json"

@@ -142,6 +142,78 @@ class TestGenerateSharded:
         assert "backend=streaming" in capsys.readouterr().out
 
 
+class TestShmAndMmapFlags:
+    @pytest.fixture(scope="class")
+    def npy_trace_dir(self, tmp_path_factory):
+        """A v2 sharded trace written with the mmappable npy layout."""
+        path = tmp_path_factory.mktemp("cli-npy") / "trace-v2"
+        code = main(
+            [
+                "generate", str(path),
+                "--nodes", "2000", "--packets", "30000",
+                "--seed", "6", "--shard-packets", "8000", "--layout", "npy",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_layout_requires_shard_packets(self, tmp_path, capsys):
+        code = main(
+            ["generate", str(tmp_path / "t.npz"), "--nodes", "2000",
+             "--packets", "20000", "--layout", "npy"]
+        )
+        assert code == 2
+        assert "--shard-packets" in capsys.readouterr().out
+
+    def test_mmap_analyze_matches_eager(self, npy_trace_dir, capsys):
+        code = main(
+            ["analyze", str(npy_trace_dir), "--nv", "10000",
+             "--quantities", "source_fanout"]
+        )
+        assert code == 0
+        eager_out = capsys.readouterr().out
+        code = main(
+            ["analyze", str(npy_trace_dir), "--nv", "10000",
+             "--quantities", "source_fanout", "--mmap"]
+        )
+        assert code == 0
+        mmap_out = capsys.readouterr().out
+        assert "mapping trace shards" in mmap_out
+        marker = "windows of N_V"
+        assert eager_out.split(marker)[1] == mmap_out.split(marker)[1]
+
+    def test_payload_transport_printed_and_identical(self, npy_trace_dir, capsys):
+        outputs = {}
+        for transport in ("pickle", "shm"):
+            code = main(
+                ["analyze", str(npy_trace_dir), "--nv", "10000",
+                 "--quantities", "source_fanout", "--backend", "process",
+                 "--workers", "2", "--payload-transport", transport]
+            )
+            assert code == 0
+            outputs[transport] = capsys.readouterr().out
+            assert f"transport={transport}" in outputs[transport]
+        marker = "windows of N_V"
+        assert outputs["pickle"].split(marker)[1] == outputs["shm"].split(marker)[1]
+
+    def test_streaming_backend_rejects_transport(self, npy_trace_dir, capsys):
+        code = main(
+            ["analyze", str(npy_trace_dir), "--nv", "10000",
+             "--backend", "streaming", "--payload-transport", "shm"]
+        )
+        assert code == 2
+        assert "payload-transport" in capsys.readouterr().out
+
+    def test_detect_run_accepts_transport(self, capsys):
+        code = main(
+            ["detect", "run", "flash-crowd", "--nv", "2000",
+             "--backend", "process", "--workers", "2",
+             "--payload-transport", "shm"]
+        )
+        assert code == 0
+        assert "transport=shm" in capsys.readouterr().out
+
+
 class TestFit:
     def test_fit_prints_model_comparison(self, trace_file, capsys):
         code = main(["fit", str(trace_file), "--nv", "20000", "--quantity", "source_fanout"])

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import logging
 import pickle
+import threading
 import time
 
 import numpy as np
@@ -276,6 +277,48 @@ class TestBackends:
             results = list(ProcessBackend(4).map(analyze_window, [window]))
         assert len(results) == 1
         assert any("downgrading to serial" in message for message in caplog.messages)
+
+    def test_streaming_backend_logs_blocked_producer_and_dropped_error(self, caplog, monkeypatch):
+        """Regression: an abandoned map used to pretend its producer joined
+        (silent 5s deadline) and to drop a late producer error on the floor."""
+        import repro.streaming.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module, "_PRODUCER_JOIN_TIMEOUT", 0.2)
+        release = threading.Event()
+
+        def producer():
+            yield 0
+            release.wait(30)  # the "input iterator blocked in I/O" case
+            raise RuntimeError("late disk failure")
+
+        results = StreamingBackend(prefetch=1).map(lambda x: x, producer())
+        assert next(results) == 0
+        with caplog.at_level(logging.WARNING, logger="repro.streaming.parallel"):
+            results.close()  # abandon the map while the producer is pinned
+            assert any("still alive" in message for message in caplog.messages)
+            release.set()  # the blocked read returns and the producer raises
+            deadline = time.time() + 5.0
+            while self._prefetch_threads() and time.time() < deadline:
+                time.sleep(0.01)
+        assert not self._prefetch_threads()
+        assert any(
+            "dropped after the consumer abandoned" in message for message in caplog.messages
+        )
+
+    def test_payload_transport_validation(self):
+        from repro.streaming.shm import TRANSPORT_NAMES
+
+        assert ProcessBackend(2).payload_transport in TRANSPORT_NAMES
+        assert get_backend("process", n_workers=2, payload_transport="pickle").payload_transport == "pickle"
+        assert get_backend(None, n_workers=2, payload_transport="pickle").payload_transport == "pickle"
+        with pytest.raises(ValueError, match="payload_transport"):
+            get_backend("serial", payload_transport="shm")
+        with pytest.raises(ValueError, match="payload_transport"):
+            get_backend("streaming", payload_transport="pickle")
+        with pytest.raises(ValueError, match="ProcessBackend constructor"):
+            get_backend(SerialBackend(), payload_transport="shm")
+        with pytest.raises(ValueError, match="unknown payload_transport"):
+            ProcessBackend(2, payload_transport="carrier-pigeon")
 
     def test_default_chunksize_heuristic(self):
         assert default_chunksize(100, 4) == 100 // 16
@@ -648,9 +691,91 @@ class TestSharedPools:
         assert 1 <= usable_cpu_count() <= (1 << 12)
         assert default_worker_count() >= 1
 
+    def test_concurrent_map_survives_neighbour_failure(self):
+        """Regression: a failed map used to terminate the shared pool while a
+        concurrent map (daemon job + campaign worker in one process) was
+        still iterating it, poisoning the innocent caller's results."""
+        shutdown_shared_pools()
+        backend = ProcessBackend(2)
+        results: list = []
+        raised: list = []
+        start = threading.Barrier(2)
+
+        def innocent():
+            start.wait()
+            results.extend(backend.map(_slow_square, list(range(40))))
+
+        def failing():
+            start.wait()
+            time.sleep(0.05)  # let the innocent map get tasks in flight first
+            try:
+                list(backend.map(_reciprocal, [1, 0]))
+            except ZeroDivisionError:
+                raised.append(True)
+
+        threads = [threading.Thread(target=innocent), threading.Thread(target=failing)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not any(thread.is_alive() for thread in threads), "a map never finished"
+        assert raised == [True]
+        assert results == [x * x for x in range(40)]
+        shutdown_shared_pools()
+
+    def test_failed_map_retires_generation_only_when_idle(self):
+        from repro.streaming import parallel as parallel_module
+
+        shutdown_shared_pools()
+        entry = parallel_module._checkout_shared_pool(2)
+        assert entry.active == 1 and not entry.retired
+        assert parallel_module._checkout_shared_pool(2) is entry and entry.active == 2
+        parallel_module._checkin_shared_pool(entry, failed=True)
+        assert entry.retired and entry.active == 1
+        # the retired generation left the cache: new maps get a fresh pool
+        fresh = parallel_module._checkout_shared_pool(2)
+        assert fresh is not entry
+        # ...but the retired pool still serves its remaining in-flight map
+        assert entry.pool.apply(_reciprocal, (2,)) == 0.5
+        parallel_module._checkin_shared_pool(entry, failed=False)  # last claim out
+        with pytest.raises(ValueError):
+            entry.pool.apply(_reciprocal, (2,))  # now terminated
+        parallel_module._checkin_shared_pool(fresh, failed=False)
+        shutdown_shared_pools()
+
+
+class TestWorkerCountPolicy:
+    """The automatic worker count must scale its reserve to the machine."""
+
+    @pytest.mark.parametrize(
+        "cpus,expected",
+        [(1, 1), (2, 2), (3, 2), (4, 2), (6, 4), (8, 6), (16, 14), (32, 16)],
+    )
+    def test_reserve_scales_with_cpu_count(self, monkeypatch, cpus, expected):
+        monkeypatch.setattr("repro.streaming.parallel.usable_cpu_count", lambda: cpus)
+        assert default_worker_count() == expected
+
+    def test_small_boxes_are_not_starved(self, monkeypatch):
+        # regression: a flat `cpus - reserve` downgraded 2-3-CPU machines to
+        # serial execution even though parallel hardware existed
+        for cpus in (2, 3):
+            monkeypatch.setattr(
+                "repro.streaming.parallel.usable_cpu_count", lambda cpus=cpus: cpus
+            )
+            assert default_worker_count() > 1
+
+    def test_maximum_still_caps(self, monkeypatch):
+        monkeypatch.setattr("repro.streaming.parallel.usable_cpu_count", lambda: 64)
+        assert default_worker_count(maximum=4) == 4
+
 
 def _reciprocal(x):
     return 1.0 / x
+
+
+def _slow_square(x):
+    time.sleep(0.01)
+    return x * x
 
 
 class TestAnalysisColumnReads:

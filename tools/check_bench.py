@@ -10,6 +10,12 @@ CPU budget, platform, or library stack — e.g. a different ``usable_cpus``)
 the artifact is **skipped with a reason**, never failed: CI runners and
 laptops must not flunk numbers a different box recorded.
 
+One class of artifact is refused outright (still a skip, but a loud one):
+an artifact that claims a parallel speedup while its own machine block says
+``usable_cpus`` ≤ 1.  A one-CPU box cannot demonstrate parallel scaling —
+whatever its timings say is scheduling noise — so such numbers are never
+treated as a baseline or as evidence.
+
 Usage::
 
     # after re-running benchmarks, compare against the committed artifacts
@@ -52,6 +58,38 @@ def iter_timings(obj, prefix: str = "") -> Iterator[Tuple[str, float]]:
             yield from iter_timings(value, f"{prefix}[{index}]")
 
 
+def parallel_speedup_claims(obj, prefix: str = "", inside: bool = False) -> Iterator[Tuple[str, float]]:
+    """Yield every non-serial speedup leaf under any ``speedup_vs_serial`` key."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if inside and isinstance(value, (int, float)) and key != "serial":
+                yield path, float(value)
+            else:
+                yield from parallel_speedup_claims(value, path, inside or key == "speedup_vs_serial")
+
+
+def parallel_evidence_refusal(fresh: dict) -> str | None:
+    """Why this artifact must not count as parallel-speedup evidence, or None.
+
+    Fires when the artifact claims a parallel case beat serial (beyond
+    timing noise) while recorded with ``usable_cpus`` ≤ 1.
+    """
+    machine = fresh.get("machine") or {}
+    usable = machine.get("usable_cpus")
+    if not isinstance(usable, int) or usable > 1:
+        return None
+    claims = [(path, value) for path, value in parallel_speedup_claims(fresh) if value > 1.05]
+    if not claims:
+        return None
+    path, value = max(claims, key=lambda claim: claim[1])
+    return (
+        f"REFUSED as parallel evidence: claims {value:.2f}x at {path} but was recorded "
+        f"with usable_cpus={usable} — a one-CPU box cannot demonstrate parallel "
+        "speedup; re-record the artifact on a multi-core machine"
+    )
+
+
 def machine_mismatch(fresh: dict, baseline: dict) -> str | None:
     """A human-readable reason the two artifacts are not comparable, or None."""
     fresh_machine = fresh.get("machine") or {}
@@ -84,6 +122,9 @@ def check_artifact(path: Path, ref: str, max_regression: float) -> Tuple[str, li
     and list each regressed timing.
     """
     fresh = json.loads(path.read_text(encoding="utf-8"))
+    refusal = parallel_evidence_refusal(fresh)
+    if refusal is not None:
+        return "skip", [refusal]
     baseline = committed_baseline(path.name, ref)
     if baseline is None:
         return "skip", [f"no committed baseline at {ref} (new artifact?)"]
