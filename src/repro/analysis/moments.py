@@ -94,6 +94,36 @@ class StreamingMoments:
         self._mean = self._mean + delta / self._count
         self._m2 = self._m2 + delta * (values - self._mean)
 
+    def state(self) -> dict:
+        """Exact internal state (count and float64 accumulators) for snapshots.
+
+        The returned arrays are copies of the raw Welford accumulators; a
+        moments object rebuilt via :meth:`from_state` continues the fold with
+        bit-identical arithmetic, which is what makes service checkpoint
+        recovery (:mod:`repro.service.checkpoint`) byte-exact.
+        """
+        return {
+            "count": int(self._count),
+            "mean": self._mean.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingMoments":
+        """Rebuild a moments accumulator from a :meth:`state` snapshot."""
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        m2 = np.asarray(state["m2"], dtype=np.float64)
+        count = int(state["count"])
+        if mean.ndim != 1 or m2.ndim != 1 or mean.size != m2.size:
+            raise ValueError("moments state arrays must be 1-D and equal-sized")
+        if count < 0:
+            raise ValueError("moments state count must be >= 0")
+        moments = cls()
+        moments._count = count
+        moments._mean = mean.copy()
+        moments._m2 = m2.copy()
+        return moments
+
     def mean(self) -> np.ndarray:
         """Running element-wise mean."""
         return self._mean.copy()

@@ -20,7 +20,7 @@ Three tables:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import sqrt
 from typing import Mapping, Union
 
@@ -41,21 +41,24 @@ def fleet_status_rows(
     ``status`` invocations — see a consistent count-up.  ``stored`` uses the
     record-level presence check (stat + JSON, no payload hashing) so status
     stays O(cells); ``leased``/``stale`` age each missing key's lease
-    against *ttl*.
+    against *ttl*.  ``retried`` counts stored cells whose recorded attempt
+    count exceeds 1 — work a retry budget (``--cell-retries``) rescued.
     """
     rows = []
     for name in names:
         manifest = store.load_campaign(name)
         keys = {cell["key"] for cell in manifest["cells"]}
-        stored = leased = stale = 0
+        stored = leased = stale = retried = 0
         holders: set[str] = set()
         for key in sorted(keys):
             try:
-                store.record(key)
+                record = store.record(key)
             except KeyError:
                 pass
             else:
                 stored += 1
+                if (record.get("attempts") or 1) > 1:
+                    retried += 1
                 continue
             info = store.lease_info(key, ttl=ttl)
             if info is None:
@@ -71,6 +74,7 @@ def fleet_status_rows(
                 "cells": len(manifest["cells"]),
                 "unique": len(keys),
                 "stored": stored,
+                "retried": retried,
                 "leased": leased,
                 "stale": stale,
                 "missing": len(keys) - stored - leased - stale,
@@ -137,12 +141,17 @@ class CampaignReport:
     missing:
         Content keys the manifest lists but the store does not hold yet
         (an interrupted sweep); their cells render with empty metrics.
+    attempts:
+        Recorded analysis attempt count per stored key (absent for records
+        written before retry budgets existed); ``attempts > 1`` marks a
+        cell a retry budget rescued.
     """
 
     name: str
     manifest: Mapping
     results: Mapping[str, object]
     missing: tuple[str, ...]
+    attempts: Mapping[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_store(cls, store: Union[ResultStore, str], name: str) -> "CampaignReport":
@@ -150,6 +159,7 @@ class CampaignReport:
         store = store if isinstance(store, ResultStore) else ResultStore(store)
         manifest = store.load_campaign(name)
         results: dict[str, object] = {}
+        attempts: dict[str, int] = {}
         missing = []
         for cell in manifest["cells"]:
             key = cell["key"]
@@ -161,7 +171,12 @@ class CampaignReport:
                 results[key] = store.get(key)
             except KeyError:
                 missing.append(key)
-        return cls(name=name, manifest=manifest, results=results, missing=tuple(missing))
+                continue
+            recorded = store.record(key).get("attempts")
+            if recorded is not None:
+                attempts[key] = int(recorded)
+        return cls(name=name, manifest=manifest, results=results,
+                   missing=tuple(missing), attempts=attempts)
 
     @property
     def complete(self) -> bool:
@@ -181,7 +196,8 @@ class CampaignReport:
             }
             run = self.results.get(cell["key"])
             if run is None:
-                row.update({"windows": "", "D(d=1)": "", "max_drift": "", "status": "missing"})
+                row.update({"windows": "", "D(d=1)": "", "max_drift": "",
+                            "attempts": "", "status": "missing"})
             else:
                 pooled = run.analysis.pooled(quantity)
                 row.update(
@@ -189,6 +205,7 @@ class CampaignReport:
                         "windows": run.analysis.n_windows,
                         "D(d=1)": round(float(pooled.values[0]), 6) if pooled.n_bins else 0.0,
                         "max_drift": round(run.phases.max_drift(quantity), 4),
+                        "attempts": self.attempts.get(cell["key"], ""),
                         "status": "stored",
                     }
                 )

@@ -88,7 +88,10 @@ class CellOutcome:
     ``None`` for skipped and failed cells — and for cached cells whose
     stored record predates window-count recording (e.g. written by
     :meth:`~repro.campaigns.store.ResultStore.get_or_compute` or an older
-    store), which render with an empty ``windows`` column.
+    store), which render with an empty ``windows`` column.  ``attempts``
+    counts how many times the cell's analysis ran under a retry budget
+    (1 = first try succeeded); ``None`` for skipped cells and for cached
+    cells whose stored record predates attempt recording.
     """
 
     key: str
@@ -101,6 +104,7 @@ class CellOutcome:
     seconds: Optional[float] = None
     n_windows: Optional[int] = None
     error: Optional[str] = None
+    attempts: Optional[int] = None
 
     def as_row(self) -> dict:
         """Flat dict row for tables."""
@@ -113,6 +117,7 @@ class CellOutcome:
             "status": self.status,
             "seconds": "" if self.seconds is None else round(self.seconds, 3),
             "windows": "" if self.n_windows is None else self.n_windows,
+            "attempts": "" if self.attempts is None else self.attempts,
             "key": self.key[:12],
         }
 
@@ -192,6 +197,7 @@ def _claim_and_compute_cell(
     ttl: float,
     heartbeat: float,
     recompute: bool = False,
+    cell_retries: int = 0,
 ) -> dict:
     """Claim one cell's lease, analyse it, persist it, release the lease.
 
@@ -203,10 +209,17 @@ def _claim_and_compute_cell(
       could claim it (another fleet member finished it);
     * ``{"status": "lost"}`` — a live lease blocks the claim; the caller
       retries later (work-stealing tail) or leaves it to its holder;
-    * ``{"status": "computed", "seconds", "n_windows"}`` — the happy path;
-    * ``{"status": "failed", "error"}`` — the analysis raised; the lease is
-      released so the failure is observable fleet-wide (another worker may
-      retry and fail the same way — each run reports its own attempt).
+    * ``{"status": "computed", "seconds", "n_windows", "attempts"}`` — the
+      happy path;
+    * ``{"status": "failed", "error", "attempts"}`` — the analysis raised
+      on every allowed attempt; the lease is released so the failure is
+      observable fleet-wide (another worker may retry and fail the same
+      way — each run reports its own attempt).
+
+    *cell_retries* is the per-cell retry budget: a raising analysis is
+    re-run up to that many extra times **while the lease is held** (so no
+    other fleet member duplicates the work), and the attempt count is
+    recorded in the stored cell's meta.
 
     A daemon thread refreshes the lease heartbeat every *heartbeat*
     seconds while the analysis runs, so long cells never read as stale.
@@ -234,38 +247,50 @@ def _claim_and_compute_cell(
         # the cell and died before releasing
         if not recompute and spec.key in store:
             return {"key": spec.key, "status": "cached"}
-        started = time.perf_counter()
-        try:
-            run = analyze_scenario(
-                spec.scenario,
-                spec.n_valid,
-                seed=spec.seed,
-                quantities=spec.quantities,
-                backend=spec.backend,
-                n_workers=spec.n_workers,
-                chunk_packets=spec.chunk_packets,
-                block_packets=spec.block_packets,
-                keep_windows=False,
-                detectors=spec.detectors,
-                mode=spec.mode,
-                sketch=spec.sketch,
-            )
-            seconds = time.perf_counter() - started
-            n_windows = run.analysis.n_windows
-            store.put(
-                spec.key,
-                run,
-                meta={"spec": spec.as_manifest(), "seconds": round(seconds, 6),
-                      "n_windows": n_windows},
-            )
-        except Exception as error:
-            seconds = time.perf_counter() - started
-            message = f"{type(error).__name__}: {error}"
-            _logger.warning("cell %s failed after %.3fs: %s", spec.key[:12], seconds, message)
-            return {"key": spec.key, "status": "failed", "error": message,
-                    "seconds": seconds}
-        return {"key": spec.key, "status": "computed", "seconds": seconds,
-                "n_windows": n_windows}
+        attempts = 0
+        while True:
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                run = analyze_scenario(
+                    spec.scenario,
+                    spec.n_valid,
+                    seed=spec.seed,
+                    quantities=spec.quantities,
+                    backend=spec.backend,
+                    n_workers=spec.n_workers,
+                    chunk_packets=spec.chunk_packets,
+                    block_packets=spec.block_packets,
+                    keep_windows=False,
+                    detectors=spec.detectors,
+                    mode=spec.mode,
+                    sketch=spec.sketch,
+                )
+                seconds = time.perf_counter() - started
+                n_windows = run.analysis.n_windows
+                store.put(
+                    spec.key,
+                    run,
+                    meta={"spec": spec.as_manifest(), "seconds": round(seconds, 6),
+                          "n_windows": n_windows, "attempts": attempts},
+                )
+            except Exception as error:
+                seconds = time.perf_counter() - started
+                message = f"{type(error).__name__}: {error}"
+                if attempts <= cell_retries:
+                    _logger.warning(
+                        "cell %s attempt %d/%d failed after %.3fs: %s — retrying",
+                        spec.key[:12], attempts, cell_retries + 1, seconds, message,
+                    )
+                    continue
+                _logger.warning(
+                    "cell %s failed after %.3fs (%d attempt(s)): %s",
+                    spec.key[:12], seconds, attempts, message,
+                )
+                return {"key": spec.key, "status": "failed", "error": message,
+                        "seconds": seconds, "attempts": attempts}
+            return {"key": spec.key, "status": "computed", "seconds": seconds,
+                    "n_windows": n_windows, "attempts": attempts}
     finally:
         stop.set()
         store.release_lease(spec.key, owner)
@@ -279,6 +304,7 @@ def run_campaign(
     pool_workers: int | None = None,
     max_cells: int | None = None,
     recompute: bool = False,
+    cell_retries: int = 0,
     workers: int = 1,
     worker_index: int = 1,
     lease_ttl: float = DEFAULT_LEASE_TTL_SECONDS,
@@ -312,6 +338,12 @@ def run_campaign(
         ``max_cells`` — a capped recompute could never advance past the
         first cells — and with fleets (``workers > 1``), whose convergence
         test is precisely "is the key stored yet".
+    cell_retries:
+        Per-cell retry budget: a cell whose analysis raises is re-run up
+        to this many extra times (while its lease is held) before being
+        recorded as failed.  The attempt count lands in the stored cell's
+        meta and in each :class:`CellOutcome`.  Default 0: fail on the
+        first raise, the historical behaviour.
     workers / worker_index:
         Fleet shape: this process is worker ``worker_index`` (1-based) of
         ``workers`` sweeping the same grid against the same store.  The
@@ -352,6 +384,8 @@ def run_campaign(
             "stored', which recompute deliberately ignores — recompute with a "
             "single worker instead"
         )
+    if cell_retries < 0:
+        raise ValueError(f"cell_retries must be >= 0, got {cell_retries}")
     if lease_ttl <= 0:
         raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
     heartbeat = lease_ttl / 3 if heartbeat_seconds is None else heartbeat_seconds
@@ -423,6 +457,7 @@ def run_campaign(
         ttl=lease_ttl,
         heartbeat=heartbeat,
         recompute=recompute,
+        cell_retries=cell_retries,
     )
     # key -> terminal local result ("computed" or "failed")
     attempted: dict[str, dict] = {}
@@ -493,14 +528,16 @@ def run_campaign(
         if local is not None and local["status"] == "failed":
             outcomes.append(
                 CellOutcome(status="failed", seconds=local.get("seconds"),
-                            error=local["error"], **common)
+                            error=local["error"], attempts=local.get("attempts"),
+                            **common)
             )
         elif local is not None and key not in first_computed:
             first_computed.add(key)
             outcomes.append(
                 CellOutcome(
                     status="computed", seconds=local["seconds"],
-                    n_windows=local["n_windows"], **common,
+                    n_windows=local["n_windows"], attempts=local.get("attempts"),
+                    **common,
                 )
             )
         elif key in store:
@@ -508,7 +545,8 @@ def run_campaign(
             # fleet member computed all resolve here
             record = store.record(key)
             outcomes.append(
-                CellOutcome(status="cached", n_windows=record.get("n_windows"), **common)
+                CellOutcome(status="cached", n_windows=record.get("n_windows"),
+                            attempts=record.get("attempts"), **common)
             )
         else:
             outcomes.append(CellOutcome(status="skipped", **common))

@@ -9,6 +9,7 @@ store/
   objects/<kk>/<key>.pkl.gz   # pickled payload, reproducible gzip (mtime=0)
   runs/<kk>/<key>.json        # metadata record: spec, backend, timing, version
   leases/<kk>/<key>.lease     # in-flight claims of a worker fleet (JSON + mtime heartbeat)
+  checkpoints/<kk>/<key>/ckpt-<seq>.{pkl.gz,json}  # service job checkpoint generations
   campaigns/<name>.json       # campaign manifests (what `status`/`report` read)
 ```
 
@@ -119,7 +120,10 @@ class ResultStore:
     def _prune_orphaned_temp_files(self) -> None:
         """Remove stale ``*.tmp`` files a hard-killed writer left behind."""
         cutoff = time.time() - self._TEMP_MAX_AGE_SECONDS
-        for pattern in ("objects/*/*.tmp", "runs/*/*.tmp", "leases/*/*.tmp", "campaigns/*.tmp", "*.tmp"):
+        for pattern in (
+            "objects/*/*.tmp", "runs/*/*.tmp", "leases/*/*.tmp",
+            "checkpoints/*/*/*.tmp", "campaigns/*.tmp", "*.tmp",
+        ):
             for orphan in self.root.glob(pattern):
                 try:
                     if orphan.stat().st_mtime < cutoff:
@@ -156,6 +160,13 @@ class ResultStore:
 
     def _lease_path(self, key: str) -> Path:
         return self.root / "leases" / key[:2] / f"{key}.lease"
+
+    def _checkpoint_dir(self, key: str) -> Path:
+        return self.root / "checkpoints" / key[:2] / key
+
+    def _checkpoint_paths(self, key: str, seq: int) -> Tuple[Path, Path]:
+        directory = self._checkpoint_dir(key)
+        return directory / f"ckpt-{int(seq):012d}.pkl.gz", directory / f"ckpt-{int(seq):012d}.json"
 
     def campaign_path(self, name: str) -> Path:
         """Path of one campaign's manifest inside the store."""
@@ -294,19 +305,17 @@ class ResultStore:
             raise KeyError(f"torn payload for key {key} in store {self.root}")
         return record
 
-    def put(self, key: str, payload, meta: Mapping | None = None) -> None:
-        """Persist *payload* under *key*, atomically, payload before record.
-
-        The gzip stream is written with ``mtime=0`` so equal payloads produce
-        byte-identical objects — the store's files are as content-addressed
-        as its keys.  The record pins the payload's byte size and SHA-256
-        digest, which is what lets :meth:`__contains__` verify cells.
-        """
+    @staticmethod
+    def _dump_payload(payload) -> bytes:
+        """Pickle + gzip (``mtime=0``) a payload into reproducible bytes."""
         buffer = io.BytesIO()
         with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        payload_bytes = buffer.getvalue()
-        path = self._object_path(key)
+        return buffer.getvalue()
+
+    @staticmethod
+    def _replace_bytes(path: Path, payload_bytes: bytes) -> None:
+        """Write bytes to *path* via same-directory temp file + ``os.replace``."""
         path.parent.mkdir(parents=True, exist_ok=True)
         # per-writer unique temp name: concurrent writers of the same key
         # (identical content) must replace each other, never collide
@@ -324,6 +333,17 @@ class ResultStore:
             with contextlib.suppress(OSError):
                 os.unlink(handle.name)
             raise
+
+    def put(self, key: str, payload, meta: Mapping | None = None) -> None:
+        """Persist *payload* under *key*, atomically, payload before record.
+
+        The gzip stream is written with ``mtime=0`` so equal payloads produce
+        byte-identical objects — the store's files are as content-addressed
+        as its keys.  The record pins the payload's byte size and SHA-256
+        digest, which is what lets :meth:`__contains__` verify cells.
+        """
+        payload_bytes = self._dump_payload(payload)
+        self._replace_bytes(self._object_path(key), payload_bytes)
         write_json_atomic(
             self._record_path(key),
             {
@@ -353,6 +373,105 @@ class ResultStore:
         seconds = time.perf_counter() - started
         self.put(key, payload, meta={"seconds": round(seconds, 6), **dict(meta or {})})
         return payload, False
+
+    # -- checkpoints: generational durability for resident jobs -----------------
+
+    #: Checkpoint generations retained per key beyond the newest one, so a
+    #: checkpoint torn by a crash mid-replace still leaves a verified older
+    #: generation to fall back to.
+    CHECKPOINT_KEEP = 2
+
+    def put_checkpoint(self, key: str, payload, *, seq: int, meta: Mapping | None = None) -> None:
+        """Persist one checkpoint generation under ``checkpoints/<key>/``.
+
+        Same discipline as :meth:`put` — reproducible gzip, temp-file +
+        ``os.replace``, record pinning byte size and SHA-256 — but keyed by
+        a monotonically increasing *seq* so multiple generations coexist:
+        :meth:`latest_checkpoint` walks them newest-first and a torn or
+        corrupted newest generation falls back to the previous one.  Older
+        generations beyond :data:`CHECKPOINT_KEEP` are pruned.
+        """
+        if int(seq) < 0:
+            raise ValueError(f"checkpoint seq must be >= 0, got {seq}")
+        payload_path, record_path = self._checkpoint_paths(key, seq)
+        payload_bytes = self._dump_payload(payload)
+        self._replace_bytes(payload_path, payload_bytes)
+        write_json_atomic(
+            record_path,
+            {
+                "key": key,
+                "seq": int(seq),
+                "repro_version": _repro_version(),
+                "payload_bytes": len(payload_bytes),
+                "payload_sha256": hashlib.sha256(payload_bytes).hexdigest(),
+                **dict(meta or {}),
+            },
+        )
+        self._prune_checkpoints(key)
+
+    def checkpoint_seqs(self, key: str) -> tuple[int, ...]:
+        """Sequence numbers of the checkpoint generations on disk, ascending."""
+        directory = self._checkpoint_dir(key)
+        seqs = []
+        for record in directory.glob("ckpt-*.json"):
+            try:
+                seqs.append(int(record.stem.split("-")[-1]))
+            except ValueError:  # pragma: no cover - foreign file in the area
+                continue
+        return tuple(sorted(seqs))
+
+    def latest_checkpoint(self, key: str) -> Tuple[int, object] | None:
+        """Newest checkpoint generation that verifies, or ``None``.
+
+        Walks the generations newest-first; one whose record does not
+        parse, whose payload fails the size/SHA-256 pins, or whose bytes do
+        not unpickle is **skipped with a WARNING** and the previous
+        generation is tried — a torn write can cost at most the work since
+        the prior checkpoint, never the ability to resume.
+        """
+        for seq in reversed(self.checkpoint_seqs(key)):
+            payload_path, record_path = self._checkpoint_paths(key, seq)
+            try:
+                record = read_json(record_path)
+                if not isinstance(record, dict):
+                    raise ValueError("checkpoint record is not an object")
+            except (OSError, ValueError):
+                _logger.warning("unreadable checkpoint record seq=%d for key %s in %s; "
+                                "trying previous generation", seq, key[:12], self.root)
+                continue
+            try:
+                raw = payload_path.read_bytes()
+            except OSError:
+                _logger.warning("missing checkpoint payload seq=%d for key %s in %s; "
+                                "trying previous generation", seq, key[:12], self.root)
+                continue
+            expected_size = record.get("payload_bytes")
+            expected_sha = record.get("payload_sha256")
+            if (expected_size is not None and len(raw) != int(expected_size)) or (
+                expected_sha is not None and hashlib.sha256(raw).hexdigest() != expected_sha
+            ):
+                _logger.warning("corrupted checkpoint seq=%d for key %s in %s "
+                                "(size/digest mismatch); trying previous generation",
+                                seq, key[:12], self.root)
+                continue
+            try:
+                with gzip.GzipFile(fileobj=io.BytesIO(raw), mode="rb") as handle:
+                    return int(seq), pickle.load(handle)
+            except Exception as error:
+                _logger.warning("undecodable checkpoint seq=%d for key %s in %s (%s); "
+                                "trying previous generation", seq, key[:12], self.root, error)
+                continue
+        return None
+
+    def _prune_checkpoints(self, key: str) -> None:
+        """Drop generations older than the newest :data:`CHECKPOINT_KEEP`."""
+        seqs = self.checkpoint_seqs(key)
+        for seq in seqs[: -self.CHECKPOINT_KEEP]:
+            payload_path, record_path = self._checkpoint_paths(key, seq)
+            with contextlib.suppress(OSError):
+                record_path.unlink()
+            with contextlib.suppress(OSError):
+                payload_path.unlink()
 
     # -- leases: the store as a work queue --------------------------------------
 

@@ -326,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "re-running resumes the rest)")
     camp_run.add_argument("--recompute", action="store_true",
                           help="ignore stored results and recompute every cell")
+    camp_run.add_argument("--cell-retries", type=int, default=0,
+                          help="retry a failing cell up to this many extra times "
+                               "(while holding its lease) before recording it as "
+                               "failed; attempts are surfaced in status/report "
+                               "rows (default 0)")
     camp_run.add_argument("--workers", type=int, default=1,
                           help="fleet size N: how many 'campaign run' processes sweep this "
                                "grid against the shared store (default 1; start one process "
@@ -380,6 +385,23 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-batch-bytes", type=int, default=None,
                      help="request-body cap; oversized ingest requests get a "
                           "structured 413 (default 8 MiB)")
+    srv.add_argument("--max-buffered-packets", type=int, default=None,
+                     help="ingest back-pressure: a job holding this many unfolded "
+                          "packets answers ingests with a structured 429 + "
+                          "Retry-After until the fold catches up (a job config's "
+                          "limits.max_buffered_packets overrides it; default: "
+                          "unlimited)")
+    srv.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                     help="write a durable checkpoint of each job's exact fold "
+                          "state every N ingested batches (requires --store)")
+    srv.add_argument("--checkpoint-seconds", type=float, default=None, metavar="S",
+                     help="also checkpoint when S seconds passed since a job's "
+                          "last one (requires --store; combines with "
+                          "--checkpoint-every)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore each job from its newest valid checkpoint in "
+                          "--store at startup; feeders then replay unacked "
+                          "batches idempotently (requires --store)")
     srv.set_defaults(func=_cmd_serve)
 
     jobs = subparsers.add_parser(
@@ -391,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_submit.add_argument("config", help="job-config JSON file")
     jobs_submit.add_argument("--url", required=True, metavar="http://HOST:PORT",
                              help="base URL of the daemon")
+    jobs_submit.add_argument("--retries", type=int, default=0,
+                             help="retry transport failures (connection refused/reset) "
+                                  "this many times with exponential backoff "
+                                  "(default 0: fail fast)")
     jobs_submit.set_defaults(func=_cmd_jobs_submit)
 
     jobs_status = jobs_sub.add_parser("status", help="print daemon or per-job status")
@@ -416,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_feed.add_argument("--seed", type=int, default=0, help="scenario seed")
     jobs_feed.add_argument("--batch-packets", type=int, default=50_000,
                            help="packets per POSTed batch")
+    jobs_feed.add_argument("--retries", type=int, default=0,
+                           help="retry transport failures (connection refused/reset) "
+                                "this many times per batch with exponential backoff "
+                                "(default 0: fail fast); daemon 429 back-pressure is "
+                                "always honored with backoff regardless")
     jobs_feed.set_defaults(func=_cmd_jobs_feed)
 
     return parser
@@ -801,6 +832,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             pool_workers=args.pool_workers,
             max_cells=args.max_cells,
             recompute=args.recompute,
+            cell_retries=args.cell_retries,
             workers=workers,
             worker_index=worker_index,
             lease_ttl=DEFAULT_LEASE_TTL_SECONDS if args.lease_ttl is None else args.lease_ttl,
@@ -905,6 +937,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if max_batch <= 0:
         print(f"error: --max-batch-bytes must be positive, got {max_batch}")
         return 2
+    if args.max_buffered_packets is not None and args.max_buffered_packets < 1:
+        print(f"error: --max-buffered-packets must be >= 1, got {args.max_buffered_packets}")
+        return 2
+    wants_durability = (
+        args.checkpoint_every is not None
+        or args.checkpoint_seconds is not None
+        or args.resume
+    )
+    if wants_durability and args.store is None:
+        print("error: --checkpoint-every/--checkpoint-seconds/--resume require --store")
+        return 2
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        print(f"error: --checkpoint-every must be >= 1, got {args.checkpoint_every}")
+        return 2
+    if args.checkpoint_seconds is not None and args.checkpoint_seconds <= 0:
+        print(f"error: --checkpoint-seconds must be > 0, got {args.checkpoint_seconds}")
+        return 2
     try:
         return serve(
             configs,
@@ -912,6 +961,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             store_root=args.store,
             max_batch_bytes=max_batch,
+            max_buffered_packets=args.max_buffered_packets,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_seconds=args.checkpoint_seconds,
+            resume=args.resume,
         )
     except OSError as error:
         # most commonly EADDRINUSE: another process owns the port
@@ -920,10 +973,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _daemon_request(url: str, *, data: bytes | None = None, timeout: float = 10.0):
-    """One JSON request to the daemon: ``(status, body_dict)``.
+    """One JSON request to the daemon: ``(status, body_dict, headers)``.
 
     HTTP-level errors still carry the daemon's structured JSON body;
     transport failures (connection refused, timeouts) raise ``OSError``.
+    Header names in the returned mapping are lower-cased.
     """
     import json
     import urllib.error
@@ -934,13 +988,65 @@ def _daemon_request(url: str, *, data: bytes | None = None, timeout: float = 10.
     )
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
+            headers = {name.lower(): value for name, value in response.headers.items()}
+            return response.status, json.loads(response.read().decode("utf-8")), headers
     except urllib.error.HTTPError as error:
+        headers = {name.lower(): value for name, value in (error.headers or {}).items()}
         body = error.read().decode("utf-8", errors="replace")
         try:
-            return error.code, json.loads(body)
+            return error.code, json.loads(body), headers
         except json.JSONDecodeError:
-            return error.code, {"error": {"code": "http", "message": body.strip()}}
+            return error.code, {"error": {"code": "http", "message": body.strip()}}, headers
+
+
+def _daemon_request_patient(
+    url: str,
+    *,
+    data: bytes | None = None,
+    timeout: float = 10.0,
+    retries: int = 0,
+    backpressure_deadline: float = 60.0,
+):
+    """A :func:`_daemon_request` that rides out transient failures.
+
+    Transport failures (connection refused/reset) are retried up to
+    *retries* times with capped exponential backoff + jitter — opt-in, so
+    the default stays fail-fast.  A 429 back-pressure response is *always*
+    honored: the client sleeps at least the daemon's ``Retry-After`` (with
+    backoff + jitter on repeats) and retries until *backpressure_deadline*
+    seconds have been spent waiting, after which the 429 is returned for
+    the caller to surface.
+    """
+    import random
+    import time
+
+    transport_failures = 0
+    backpressure_delay = 0.0
+    waited = 0.0
+    while True:
+        try:
+            status, body, headers = _daemon_request(url, data=data, timeout=timeout)
+        except OSError:
+            if transport_failures >= retries:
+                raise
+            transport_failures += 1
+            # 0.25s, 0.5s, 1s, ... capped at 5s, each scaled by 0.5-1.0 jitter
+            pause = min(5.0, 0.25 * 2 ** (transport_failures - 1))
+            time.sleep(pause * (0.5 + random.random() / 2))
+            continue
+        if status == 429:
+            try:
+                retry_after = float(headers.get("retry-after", 1.0))
+            except ValueError:
+                retry_after = 1.0
+            backpressure_delay = min(5.0, max(retry_after, backpressure_delay * 2))
+            pause = backpressure_delay * (0.5 + random.random() / 2)
+            if waited + pause > backpressure_deadline:
+                return status, body, headers
+            time.sleep(pause)
+            waited += pause
+            continue
+        return status, body, headers
 
 
 def _daemon_error_line(status: int, body: dict) -> str:
@@ -962,7 +1068,9 @@ def _cmd_jobs_submit(args: argparse.Namespace) -> int:
 
     payload = json.dumps(config.as_dict()).encode("utf-8")
     try:
-        status, body = _daemon_request(f"{args.url.rstrip('/')}/jobs", data=payload)
+        status, body, _headers = _daemon_request_patient(
+            f"{args.url.rstrip('/')}/jobs", data=payload, retries=args.retries
+        )
     except OSError as error:
         print(f"error: cannot reach daemon at {args.url}: {error}")
         return 2
@@ -984,7 +1092,7 @@ def _cmd_jobs_status(args: argparse.Namespace) -> int:
     deadline = time.monotonic() + args.timeout
     while True:
         try:
-            status, body = _daemon_request(url)
+            status, body, _headers = _daemon_request(url)
         except OSError as error:
             print(f"error: cannot reach daemon at {args.url}: {error}")
             return 2
@@ -1037,8 +1145,12 @@ def _cmd_jobs_feed(args: argparse.Namespace) -> int:
         return 2
     source = ScenarioTraceSource(scenario, seed=args.seed, chunk_packets=args.batch_packets)
     base = args.url.rstrip("/")
-    batches = windows = 0
-    for chunk in source:
+    batches = replayed = windows = 0
+    # each batch carries a deterministic sequence number (its 1-based index
+    # in the scenario stream), so re-running the same feed after a daemon
+    # crash replays from seq 1 and every already-acked prefix batch is a
+    # duplicate no-op on the server — idempotent crash recovery
+    for seq, chunk in enumerate(source, start=1):
         packets = chunk.packets
         line = json.dumps(
             {
@@ -1050,8 +1162,10 @@ def _cmd_jobs_feed(args: argparse.Namespace) -> int:
             }
         )
         try:
-            status, body = _daemon_request(
-                f"{base}/ingest/{args.name}", data=(line + "\n").encode("utf-8")
+            status, body, _headers = _daemon_request_patient(
+                f"{base}/ingest/{args.name}?seq={seq}",
+                data=(line + "\n").encode("utf-8"),
+                retries=args.retries,
             )
         except OSError as error:
             print(f"error: cannot reach daemon at {args.url}: {error}")
@@ -1060,9 +1174,12 @@ def _cmd_jobs_feed(args: argparse.Namespace) -> int:
             print(_daemon_error_line(status, body))
             return 1
         batches += 1
+        if body.get("duplicate"):
+            replayed += 1
         windows = body["windows_folded"]
+    skipped = f", {replayed} already acked" if replayed else ""
     print(f"fed scenario {scenario.name!r} (seed {args.seed}) to job {args.name!r}: "
-          f"{batches} batches, {windows} windows folded")
+          f"{batches} batches{skipped}, {windows} windows folded")
     return 0
 
 

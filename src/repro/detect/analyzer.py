@@ -154,6 +154,50 @@ class DetectingAnalyzer:
             if detector.observe(window_pooled.values):
                 self._alarms[detector.name].append(index)
 
+    def snapshot(self) -> dict:
+        """Exact detection state for service checkpoints.
+
+        Captures the wrapped analyzer's fold state plus every detector's
+        internal state (:meth:`~repro.detect.detectors._BaselineDetector.state`)
+        and the alarm indices.  Detector instances that do not implement the
+        ``state``/``restore_state`` contract cannot be checkpointed.
+        """
+        entries = []
+        for detector in self.detectors:
+            state_of = getattr(detector, "state", None)
+            if state_of is None or not hasattr(detector, "restore_state"):
+                raise ValueError(
+                    f"detector {detector.name!r} does not implement state()/restore_state(); "
+                    "cannot snapshot"
+                )
+            entries.append({"name": detector.name, "state": state_of()})
+        return {
+            "analyzer": self.analyzer.snapshot(),
+            "quantity": self.quantity,
+            "detectors": entries,
+            "alarms": {name: list(indices) for name, indices in self._alarms.items()},
+        }
+
+    def restore(self, state: Mapping[str, object]) -> None:
+        """Replace analyzer, detector, and alarm state with a snapshot.
+
+        The wrapper must have been constructed with the same detectors (by
+        name, in order) and monitored quantity as the snapshotted one.
+        """
+        if state["quantity"] != self.quantity:
+            raise ValueError("snapshot monitors a different quantity than this analyzer")
+        entries = state["detectors"]
+        names = tuple(entry["name"] for entry in entries)
+        if names != tuple(d.name for d in self.detectors):
+            raise ValueError(
+                f"snapshot detectors {names} do not match this analyzer's "
+                f"{tuple(d.name for d in self.detectors)}"
+            )
+        self.analyzer.restore(state["analyzer"])
+        for detector, entry in zip(self.detectors, entries):
+            detector.restore_state(entry["state"])
+        self._alarms = {name: list(indices) for name, indices in dict(state["alarms"]).items()}
+
     def result(self, *, stats: Mapping[str, object] | None = None) -> WindowedAnalysis:
         """Finalize the wrapped analyzer (detection does not alter it)."""
         return self.analyzer.result(stats=stats)

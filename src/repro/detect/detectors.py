@@ -134,6 +134,18 @@ class _EWMABaseline:
     def state_size(self) -> int:
         return int(self._mean.size)
 
+    def state(self) -> dict:
+        """Exact baseline state (count + float64 mean copy) for snapshots."""
+        return {"count": int(self.count), "mean": self._mean.copy()}
+
+    def restore(self, state: Mapping[str, object]) -> None:
+        """Replace the baseline with a :meth:`state` payload."""
+        mean = np.asarray(state["mean"], dtype=np.float64)
+        if mean.ndim != 1:
+            raise ValueError("baseline state mean must be a 1-D float64 vector")
+        self.count = int(state["count"])
+        self._mean = mean.copy()
+
 
 class _BaselineDetector:
     """Shared warm-up / reset / bookkeeping machinery of the detectors."""
@@ -184,6 +196,29 @@ class _BaselineDetector:
 
     def _decision_scalars(self) -> tuple:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    def _decision_state(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _restore_decision_state(self, state: Mapping[str, object]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def state(self) -> dict:
+        """Exact internal state (baseline + decision variables) for snapshots.
+
+        The complement of :meth:`params`: params say how the detector is
+        tuned, state says where it is mid-stream.  A detector rebuilt with
+        the same params and fed this state via :meth:`restore_state`
+        produces the identical alarm sequence on the remaining stream —
+        the contract service checkpoint recovery relies on.
+        """
+        return {"baseline": self._baseline.state(), "decision": self._decision_state()}
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Replace baseline and decision state with a :meth:`state` payload."""
+        self._baseline = _EWMABaseline(self.decay)
+        self._baseline.restore(state["baseline"])
+        self._restore_decision_state(state["decision"])
 
     def params(self) -> Mapping[str, float]:
         return {"warmup": self.warmup, "decay": self.decay}
@@ -236,6 +271,13 @@ class EWMADetector(_BaselineDetector):
 
     def _decision_scalars(self) -> tuple:
         return (self._score, float(self._scored))
+
+    def _decision_state(self) -> dict:
+        return {"score": self._score, "scored": self._scored}
+
+    def _restore_decision_state(self, state: Mapping[str, object]) -> None:
+        self._score = float(state["score"])
+        self._scored = bool(state["scored"])
 
     def params(self) -> Mapping[str, float]:
         return {**super().params(), "threshold": self.threshold, "smoothing": self.smoothing}
@@ -302,6 +344,14 @@ class CUSUMDetector(_BaselineDetector):
     def _decision_scalars(self) -> tuple:
         return (self._sum, self._stat_mean, float(self._stat_count))
 
+    def _decision_state(self) -> dict:
+        return {"sum": self._sum, "stat_mean": self._stat_mean, "stat_count": self._stat_count}
+
+    def _restore_decision_state(self, state: Mapping[str, object]) -> None:
+        self._sum = float(state["sum"])
+        self._stat_mean = float(state["stat_mean"])
+        self._stat_count = int(state["stat_count"])
+
     def params(self) -> Mapping[str, float]:
         return {
             **super().params(),
@@ -357,6 +407,20 @@ class PageHinkleyDetector(_BaselineDetector):
 
     def _decision_scalars(self) -> tuple:
         return (self._cumulative, self._minimum, self._stat_mean, float(self._stat_count))
+
+    def _decision_state(self) -> dict:
+        return {
+            "cumulative": self._cumulative,
+            "minimum": self._minimum,
+            "stat_mean": self._stat_mean,
+            "stat_count": self._stat_count,
+        }
+
+    def _restore_decision_state(self, state: Mapping[str, object]) -> None:
+        self._cumulative = float(state["cumulative"])
+        self._minimum = float(state["minimum"])
+        self._stat_mean = float(state["stat_mean"])
+        self._stat_count = int(state["stat_count"])
 
     def params(self) -> Mapping[str, float]:
         return {**super().params(), "delta": self.delta, "threshold": self.threshold}

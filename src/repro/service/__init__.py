@@ -19,34 +19,44 @@ The pieces:
 * :mod:`repro.service.jobs` — the in-daemon job registry and per-job
   status counters;
 * :mod:`repro.service.server` — the asyncio HTTP daemon: ``/status``,
-  job submission, batch ingestion, fault containment, and a graceful
-  SIGTERM drain that flushes results to a
-  :class:`~repro.campaigns.store.ResultStore`.
+  job submission, batch ingestion (sequence-numbered and back-pressured),
+  fault containment, and a graceful SIGTERM drain that flushes results to
+  a :class:`~repro.campaigns.store.ResultStore`;
+* :mod:`repro.service.checkpoint` — crash-safe durability: periodic
+  atomic snapshots of each engine's exact fold state and ``--resume``
+  recovery that, combined with idempotent replay of unacked batches,
+  reproduces the uninterrupted run bit for bit.
 """
 
+from repro.service.checkpoint import CheckpointPolicy, JobCheckpointer, resume_job
 from repro.service.config import (
     JOB_CONFIG_VERSION,
     DetectionSection,
     JobConfig,
     JobConfigError,
+    LimitsSection,
     SketchSection,
     SourceSection,
     StoreSection,
     WindowSection,
     load_job_config,
 )
-from repro.service.engine import JobEngine, packet_batch_from_json
+from repro.service.engine import SNAPSHOT_FORMAT, JobEngine, packet_batch_from_json
 from repro.service.jobs import Job, JobRegistry
 from repro.service.server import ServiceDaemon, serve
 
 __all__ = [
     "JOB_CONFIG_VERSION",
+    "SNAPSHOT_FORMAT",
+    "CheckpointPolicy",
     "DetectionSection",
     "Job",
+    "JobCheckpointer",
     "JobConfig",
     "JobConfigError",
     "JobEngine",
     "JobRegistry",
+    "LimitsSection",
     "ServiceDaemon",
     "SketchSection",
     "SourceSection",
@@ -54,5 +64,6 @@ __all__ = [
     "WindowSection",
     "load_job_config",
     "packet_batch_from_json",
+    "resume_job",
     "serve",
 ]

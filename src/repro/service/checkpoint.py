@@ -1,0 +1,171 @@
+"""Periodic, atomic durability for resident service jobs.
+
+PR 8's daemon persists job state only on graceful shutdown or explicit
+flush: a SIGKILL, OOM-kill, or power loss silently discards every window
+folded since startup.  This module closes that gap with three pieces:
+
+* :class:`CheckpointPolicy` — *when* to checkpoint: every N ingested
+  batches and/or every S seconds, evaluated at request boundaries (the
+  engine's state is only ever consistent between requests, so a checkpoint
+  can never capture a half-folded batch).
+* :class:`JobCheckpointer` — *how*: each checkpoint is one
+  :meth:`~repro.service.engine.JobEngine.snapshot` payload (exact float
+  bytes of the full fold state plus the acked ingest sequence number)
+  written as a generation under ``checkpoints/<config_hash>/`` in the
+  :class:`~repro.campaigns.store.ResultStore`, with the store's temp-file +
+  ``os.replace`` atomicity and size+SHA-256 pinning.  A write failure is
+  **contained**: the daemon logs a WARNING, keeps serving, and retries at
+  the next cadence point — durability degrades, availability does not.
+* :func:`resume_job` — *recovery*: load the newest checkpoint generation
+  that verifies (torn/corrupted ones are skipped with a WARNING by
+  :meth:`~repro.campaigns.store.ResultStore.latest_checkpoint`), restore
+  the engine, and report the resumed sequence number so feeders can replay
+  everything after it.
+
+The correctness contract is the repo's headline invariant, extended to
+crashes: checkpoint state is bitwise-exact and batch replay is
+deterministic, so *crash → restore → replay unacked batches* produces
+pooled vectors and alarm sequences ``tobytes()``-identical to a run that
+was never interrupted (``tests/test_service_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro._util.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.campaigns.store import ResultStore
+    from repro.service.jobs import Job
+
+__all__ = ["CheckpointPolicy", "JobCheckpointer", "resume_job"]
+
+_logger = get_logger("service.checkpoint")
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When the daemon checkpoints a job (both triggers may be armed).
+
+    ``every_batches`` fires once at least that many batches folded since
+    the job's last checkpoint; ``every_seconds`` once that much wall time
+    passed.  Both are evaluated after each successful ingest request —
+    there is no background timer, so an idle job is not rewritten (its
+    last checkpoint already covers its state).  A policy with neither
+    trigger still checkpoints on explicit flushes and graceful shutdown.
+    """
+
+    every_batches: int | None = None
+    every_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.every_batches is not None and int(self.every_batches) < 1:
+            raise ValueError(f"every_batches must be >= 1, got {self.every_batches}")
+        if self.every_seconds is not None and float(self.every_seconds) <= 0:
+            raise ValueError(f"every_seconds must be > 0, got {self.every_seconds}")
+
+    @property
+    def periodic(self) -> bool:
+        """True when either cadence trigger is armed."""
+        return self.every_batches is not None or self.every_seconds is not None
+
+
+class JobCheckpointer:
+    """Writes job snapshots into the store on a :class:`CheckpointPolicy`.
+
+    One instance serves every job of a daemon; cadence bookkeeping is per
+    job name.  All failures are contained — :meth:`checkpoint` never
+    raises, it logs, bumps the job's failure counter, and leaves the
+    previous generation in place for the next attempt.
+    """
+
+    def __init__(self, store: "ResultStore", policy: CheckpointPolicy) -> None:
+        self.store = store
+        self.policy = policy
+        self._last_batches: dict[str, int] = {}
+        self._last_time: dict[str, float] = {}
+
+    def maybe_checkpoint(self, job: "Job") -> bool:
+        """Checkpoint *job* if its cadence is due; True when one was written."""
+        if not self.policy.periodic:
+            return False
+        name = job.name
+        batches = job.engine.batches_ingested
+        now = time.monotonic()
+        since_batches = batches - self._last_batches.setdefault(name, 0)
+        since_seconds = now - self._last_time.setdefault(name, now)
+        due = (
+            self.policy.every_batches is not None and since_batches >= self.policy.every_batches
+        ) or (
+            self.policy.every_seconds is not None and since_seconds >= self.policy.every_seconds
+        )
+        if not due or since_batches == 0:
+            return False
+        return self.checkpoint(job)
+
+    def checkpoint(self, job: "Job") -> bool:
+        """Write one checkpoint generation for *job*, containing any failure.
+
+        Returns True on success.  On failure the job keeps serving: the
+        error is logged as a WARNING, ``job.checkpoint_failures`` grows,
+        and the cadence clocks are *not* advanced, so the very next
+        cadence point retries.
+        """
+        engine = job.engine
+        try:
+            self.store.put_checkpoint(
+                job.config_hash,
+                engine.snapshot(),
+                seq=engine.acked_seq,
+                meta={"kind": "service_checkpoint", "job": job.name},
+            )
+        except Exception as error:
+            job.checkpoint_failures += 1
+            _logger.warning(
+                "checkpoint write failed for job %r at seq %d (%s); "
+                "will retry at the next cadence point",
+                job.name, engine.acked_seq, error,
+            )
+            return False
+        job.checkpoints_written += 1
+        self._last_batches[job.name] = engine.batches_ingested
+        self._last_time[job.name] = time.monotonic()
+        _logger.debug("checkpointed job %r at seq %d", job.name, engine.acked_seq)
+        return True
+
+
+def resume_job(store: "ResultStore", job: "Job") -> int | None:
+    """Restore *job* from its newest valid checkpoint, if any.
+
+    Returns the acked sequence number the job resumed from (recorded on
+    ``job.resumed_from_seq`` and surfaced in ``/status``), or ``None``
+    when the store holds no usable checkpoint — an empty store is a normal
+    cold start, not an error.  A checkpoint that fails to *restore* (as
+    opposed to failing verification, which falls back a generation inside
+    :meth:`~repro.campaigns.store.ResultStore.latest_checkpoint`) is
+    logged and the job starts fresh: a daemon must come up serving.
+    """
+    found = store.latest_checkpoint(job.config_hash)
+    if found is None:
+        _logger.info("no checkpoint for job %r (config %s...); starting fresh",
+                     job.name, job.config_hash[:12])
+        return None
+    seq, snapshot = found
+    try:
+        job.engine.restore(snapshot)
+    except Exception as error:
+        _logger.warning(
+            "checkpoint seq=%d for job %r did not restore (%s); starting fresh",
+            seq, job.name, error,
+        )
+        job.reset_engine()
+        return None
+    job.resumed_from_seq = seq
+    _logger.info(
+        "job %r resumed from checkpoint seq=%d (%d windows folded, %d packets buffered)",
+        job.name, seq, job.engine.windows_folded, job.engine.packets_buffered,
+    )
+    return seq

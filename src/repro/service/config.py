@@ -35,6 +35,7 @@ __all__ = [
     "DetectionSection",
     "JobConfig",
     "JobConfigError",
+    "LimitsSection",
     "SketchSection",
     "SourceSection",
     "StoreSection",
@@ -208,6 +209,25 @@ class StoreSection:
             raise _fail(f"{path}.root", f"expected a path string, got {self.root!r}")
 
 
+@dataclass(frozen=True)
+class LimitsSection:
+    """Per-job ingest back-pressure limits.
+
+    ``max_buffered_packets`` caps how many packets may sit buffered toward
+    the next incomplete window before the daemon answers ingests with
+    HTTP 429 (``Retry-After``) instead of growing without bound.  ``None``
+    defers to the daemon-wide ``--max-buffered-packets`` default (which may
+    itself be unlimited).
+    """
+
+    max_buffered_packets: int | None = None
+
+    def validate(self, path: str = "limits") -> None:
+        """Raise a path-qualified :class:`JobConfigError` on any bad field."""
+        if self.max_buffered_packets is not None:
+            _check_int(self.max_buffered_packets, f"{path}.max_buffered_packets", minimum=1)
+
+
 #: ``section name -> section type`` of the nested config layout.
 _SECTIONS = {
     "window": WindowSection,
@@ -215,6 +235,7 @@ _SECTIONS = {
     "detection": DetectionSection,
     "source": SourceSection,
     "store": StoreSection,
+    "limits": LimitsSection,
 }
 
 
@@ -236,6 +257,7 @@ class JobConfig:
     detection: DetectionSection = field(default_factory=DetectionSection)
     source: SourceSection = field(default_factory=SourceSection)
     store: StoreSection = field(default_factory=StoreSection)
+    limits: LimitsSection = field(default_factory=LimitsSection)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:

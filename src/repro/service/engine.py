@@ -31,7 +31,18 @@ from repro.streaming.parallel import get_backend
 from repro.streaming.pipeline import StreamAnalyzer, WindowedAnalysis, fold_windows
 from repro.streaming.window import PushWindower
 
-__all__ = ["BatchError", "JobEngine", "MAX_ENDPOINT_ID", "packet_batch_from_json"]
+__all__ = [
+    "BatchError",
+    "JobEngine",
+    "MAX_ENDPOINT_ID",
+    "SNAPSHOT_FORMAT",
+    "packet_batch_from_json",
+]
+
+#: Version of the :meth:`JobEngine.snapshot` payload layout.  Bump on any
+#: incompatible change; :meth:`JobEngine.restore` refuses other versions so
+#: a daemon never resumes from state it would misinterpret.
+SNAPSHOT_FORMAT = 1
 
 #: Largest endpoint id a service batch may carry.  Ids are stored as int64
 #: and packed into ``(src << 32) | dst`` keys by the fused kernel; the
@@ -145,6 +156,12 @@ class JobEngine:
         self._backend = get_backend("serial")
         self.packets_ingested = 0
         self.batches_ingested = 0
+        #: Highest ingest sequence number folded and acknowledged.  The
+        #: server advances it once per successful ingest request (explicit
+        #: client ``seq`` or implicit increment) and the checkpoint layer
+        #: persists it, which is what lets a feeder replay unacked batches
+        #: idempotently after a crash.
+        self.acked_seq = 0
 
     @property
     def windows_folded(self) -> int:
@@ -180,6 +197,63 @@ class JobEngine:
                 mode=self.config.window.mode, sketch=self._sketch,
             )
         return len(windows)
+
+    def snapshot(self) -> dict:
+        """Exact full fold state of this job, for durable checkpoints.
+
+        Covers everything :meth:`ingest` mutates — the windower's residual
+        packet buffer, the analyzer's merged histograms and Welford moments,
+        per-detector internal state and alarm indices, the ingest counters,
+        and :attr:`acked_seq`.  Serialized values are copies of the live
+        float64/int64 arrays (lossless exact bytes), so an engine restored
+        from this snapshot and fed the remaining batches produces pooled
+        vectors and alarm sequences ``tobytes()``-identical to one that was
+        never interrupted.
+        """
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "config_hash": self.config.config_hash(),
+            "acked_seq": int(self.acked_seq),
+            "packets_ingested": int(self.packets_ingested),
+            "batches_ingested": int(self.batches_ingested),
+            "windower": self._windower.snapshot(),
+            "folder": {
+                "kind": "detecting" if isinstance(self.folder, DetectingAnalyzer) else "stream",
+                "state": self.folder.snapshot(),
+            },
+        }
+
+    def restore(self, snapshot: Mapping) -> None:
+        """Replace this engine's state with a :meth:`snapshot` payload.
+
+        The engine must have been constructed from the same job config (the
+        snapshot pins the config's content hash) — restore loads numeric
+        state into the already-validated structure, it never rebuilds
+        analyzers from untrusted data.
+        """
+        if int(snapshot.get("format", -1)) != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"snapshot format {snapshot.get('format')!r} is not supported "
+                f"(this build reads format {SNAPSHOT_FORMAT})"
+            )
+        if snapshot.get("config_hash") != self.config.config_hash():
+            raise ValueError(
+                "snapshot was taken under a different job config "
+                f"(hash {str(snapshot.get('config_hash'))[:12]}... != "
+                f"{self.config.config_hash()[:12]}...)"
+            )
+        folder = snapshot["folder"]
+        expected_kind = "detecting" if isinstance(self.folder, DetectingAnalyzer) else "stream"
+        if folder.get("kind") != expected_kind:
+            raise ValueError(
+                f"snapshot folder kind {folder.get('kind')!r} does not match "
+                f"this job's {expected_kind!r} analyzer"
+            )
+        self.folder.restore(folder["state"])
+        self._windower.restore(snapshot["windower"])
+        self.acked_seq = int(snapshot["acked_seq"])
+        self.packets_ingested = int(snapshot["packets_ingested"])
+        self.batches_ingested = int(snapshot["batches_ingested"])
 
     def result(self) -> WindowedAnalysis:
         """Finalize the folded windows into a :class:`WindowedAnalysis`.

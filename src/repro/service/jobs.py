@@ -47,11 +47,20 @@ class Job:
         self.config_hash = config.config_hash()
         self.started = time.monotonic()
         self.errors = 0
+        #: Acked sequence number the job resumed from (``None`` = cold start).
+        self.resumed_from_seq: int | None = None
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
 
     @property
     def name(self) -> str:
         """The job's (registry-unique) name."""
         return self.config.name
+
+    def reset_engine(self) -> None:
+        """Rebuild the engine fresh (used when a checkpoint fails to restore)."""
+        self.engine = JobEngine(self.config)
+        self.resumed_from_seq = None
 
     def status(self) -> dict:
         """The job's ``/status`` entry: counters, uptime, config hash."""
@@ -68,6 +77,10 @@ class Job:
             "errors": self.errors,
             "mode": self.config.window.mode,
             "detectors": list(self.config.detection.detectors),
+            "acked_seq": engine.acked_seq,
+            "resumed_from_seq": self.resumed_from_seq,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_failures": self.checkpoint_failures,
         }
 
     def flush_payload(self) -> dict | None:

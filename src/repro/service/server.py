@@ -15,21 +15,31 @@ Routes
     One job's status entry.
 ``POST /jobs``
     Submit a job config (JSON body); replies with the job's config hash.
-``POST /ingest/<job>``
+``POST /ingest/<job>[?seq=N]``
     Newline-delimited JSON packet batches.  All lines are parsed and
     validated before the first fold, so a malformed line folds nothing.
+    An optional ``seq`` sequence number makes ingest idempotent: a
+    request at or below the job's acked sequence is acknowledged without
+    re-folding (crash replay), a request that skips ahead gets a 409, and
+    every success reports ``acked_seq``.  A job whose unfolded buffer
+    exceeds its back-pressure limit answers 429 with ``Retry-After``.
 ``POST /jobs/<job>/flush``
     Finalize the job's current analysis into the daemon's
-    :class:`~repro.campaigns.store.ResultStore`.
+    :class:`~repro.campaigns.store.ResultStore` (and pin a checkpoint).
 
 Fault containment is the point: every bad request — malformed JSON,
 out-of-range ids, an oversized batch, a client that disconnects
 mid-stream, an unknown config ``version`` — produces a structured JSON
 error (``{"error": {"code", "message"}}``) or a dropped connection, never
 a dead daemon and never a corrupted analyzer
-(``tests/test_service_faults.py``).  On SIGTERM the daemon stops
+(``tests/test_service_faults.py``).  Durability extends that contract to
+crashes: with a checkpoint cadence armed the daemon periodically persists
+each engine's exact fold state through
+:mod:`repro.service.checkpoint`, and ``--resume`` restores it so replayed
+unacked batches reproduce the uninterrupted run bit for bit
+(``tests/test_service_checkpoint.py``).  On SIGTERM the daemon stops
 accepting work, lets in-flight requests drain, flushes every job's result
-to the store, and exits 0.
+to the store, checkpoints, and exits 0.
 """
 
 from __future__ import annotations
@@ -40,9 +50,11 @@ import signal
 import threading
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
+from urllib.parse import parse_qs
 
 from repro._util.logging import get_logger
 from repro.campaigns.store import ResultStore
+from repro.service.checkpoint import CheckpointPolicy, JobCheckpointer, resume_job
 from repro.service.config import JobConfig, JobConfigError
 from repro.service.engine import BatchError, packet_batch_from_json
 from repro.service.jobs import JobRegistry
@@ -61,11 +73,14 @@ _MAX_HEADER_BYTES = 16 * 1024
 class _HttpError(Exception):
     """A request failure that maps to one structured error response."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self, status: int, code: str, message: str, *, headers: Mapping[str, str] | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.headers = dict(headers or {})
 
 
 _REASONS = {
@@ -73,8 +88,10 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -95,6 +112,21 @@ class ServiceDaemon:
         on ``POST /jobs/<job>/flush``; ``None`` disables flushing.
     max_batch_bytes:
         Request-body cap; oversized requests get a structured 413.
+    max_buffered_packets:
+        Daemon-wide ingest back-pressure default: a job whose buffered
+        (unfolded) packets reach this limit answers ingests with a
+        structured 429 + ``Retry-After`` until the buffer drains.  A job
+        config's ``limits.max_buffered_packets`` overrides it per job;
+        ``None`` means unlimited.
+    checkpoint_policy:
+        When to write durable job checkpoints
+        (:class:`~repro.service.checkpoint.CheckpointPolicy`); requires a
+        *store*.  ``None`` disables periodic checkpoints (explicit flushes
+        and graceful shutdown still write one when a store is present).
+    resume:
+        Restore each job from its newest valid checkpoint at registration
+        time (including jobs submitted later via ``POST /jobs``); requires
+        a *store*.
     """
 
     def __init__(
@@ -105,14 +137,32 @@ class ServiceDaemon:
         port: int = 0,
         store: ResultStore | None = None,
         max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+        max_buffered_packets: int | None = None,
+        checkpoint_policy: CheckpointPolicy | None = None,
+        resume: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.store = store
         self.max_batch_bytes = int(max_batch_bytes)
+        if max_buffered_packets is not None and int(max_buffered_packets) < 1:
+            raise ValueError(f"max_buffered_packets must be >= 1, got {max_buffered_packets}")
+        self.max_buffered_packets = (
+            int(max_buffered_packets) if max_buffered_packets is not None else None
+        )
+        if store is None and (checkpoint_policy is not None or resume):
+            raise ValueError("checkpointing/resume requires a result store (--store)")
+        self._resume = bool(resume)
+        self._checkpointer = (
+            JobCheckpointer(store, checkpoint_policy or CheckpointPolicy())
+            if store is not None
+            else None
+        )
         self.registry = JobRegistry()
         for config in configs:
-            self.registry.add(config)
+            job = self.registry.add(config)
+            if self._resume:
+                resume_job(store, job)
         self.requests_served = 0
         self.requests_failed = 0
         self._shutdown: asyncio.Event | None = None
@@ -121,12 +171,16 @@ class ServiceDaemon:
 
     # ------------------------------------------------------------------ http
 
-    def _respond(self, status: int, body: dict) -> bytes:
+    def _respond(
+        self, status: int, body: dict, headers: Mapping[str, str] | None = None
+    ) -> bytes:
         payload = json.dumps(body).encode("utf-8")
+        extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         return head.encode("ascii") + payload
@@ -188,7 +242,7 @@ class ServiceDaemon:
                 method, path, body = await self._read_request(reader)
             except _HttpError as error:
                 self.requests_failed += 1
-                writer.write(self._respond(error.status, self._error_body(error)))
+                writer.write(self._respond(error.status, self._error_body(error), error.headers))
                 await writer.drain()
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
@@ -196,19 +250,20 @@ class ServiceDaemon:
                 self.requests_failed += 1
                 _logger.info("client disconnected mid-request; dropped")
                 return
+            headers: Mapping[str, str] | None = None
             try:
                 status, response = self._route(method, path, body)
                 self.requests_served += 1
             except _HttpError as error:
                 self.requests_failed += 1
-                status, response = error.status, self._error_body(error)
+                status, response, headers = error.status, self._error_body(error), error.headers
             except Exception as error:  # noqa: BLE001 - daemon must survive
                 self.requests_failed += 1
                 _logger.exception("unexpected error serving %s %s", method, path)
                 status, response = 500, {
                     "error": {"code": "internal", "message": f"{type(error).__name__}: {error}"}
                 }
-            writer.write(self._respond(status, response))
+            writer.write(self._respond(status, response, headers))
             await writer.drain()
         except ConnectionError:
             pass
@@ -223,7 +278,8 @@ class ServiceDaemon:
 
     def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
         """Dispatch one parsed request to its handler."""
-        segments = [s for s in path.split("?")[0].split("/") if s]
+        path, _, query = path.partition("?")
+        segments = [s for s in path.split("/") if s]
         if method == "GET" and segments == ["status"]:
             return 200, self._status()
         if method == "GET" and len(segments) == 2 and segments[0] == "status":
@@ -231,7 +287,7 @@ class ServiceDaemon:
         if method == "POST" and segments == ["jobs"]:
             return self._submit(body)
         if method == "POST" and len(segments) == 2 and segments[0] == "ingest":
-            return self._ingest(segments[1], body)
+            return self._ingest(segments[1], body, query)
         if (
             method == "POST"
             and len(segments) == 3
@@ -271,10 +327,66 @@ class ServiceDaemon:
             job = self.registry.add(config)
         except ValueError as error:
             raise _HttpError(400, "duplicate_job", str(error)) from None
+        if self._resume:
+            resume_job(self.store, job)
         return 200, {"job": job.name, "config_hash": job.config_hash}
 
-    def _ingest(self, name: str, body: bytes) -> tuple[int, dict]:
+    @staticmethod
+    def _parse_seq(query: str) -> int | None:
+        """The ``seq=N`` ingest sequence number, or ``None`` when absent."""
+        seq_values = parse_qs(query).get("seq")
+        if not seq_values:
+            return None
+        try:
+            seq = int(seq_values[-1])
+        except ValueError:
+            raise _HttpError(
+                400, "bad_seq", f"seq must be a positive integer, got {seq_values[-1]!r}"
+            ) from None
+        if seq < 1:
+            raise _HttpError(400, "bad_seq", f"seq must be >= 1, got {seq}")
+        return seq
+
+    def _buffer_limit(self, job) -> int | None:
+        """The job's effective back-pressure limit (job config over daemon default)."""
+        per_job = job.config.limits.max_buffered_packets
+        return per_job if per_job is not None else self.max_buffered_packets
+
+    def _ingest(self, name: str, body: bytes, query: str = "") -> tuple[int, dict]:
         job = self._job(name)
+        seq = self._parse_seq(query)
+        engine = job.engine
+        if seq is not None:
+            if seq <= engine.acked_seq:
+                # already folded (e.g. a crash-replay of an acked batch):
+                # acknowledge without touching any state — the no-op that
+                # makes replay-from-1 idempotent
+                return 200, {
+                    "job": job.name,
+                    "duplicate": True,
+                    "acked_seq": engine.acked_seq,
+                    "batches": 0,
+                    "windows_folded_now": 0,
+                    "windows_folded": engine.windows_folded,
+                    "packets_buffered": engine.packets_buffered,
+                    "alarms_raised": engine.alarms_raised,
+                }
+            if seq > engine.acked_seq + 1:
+                raise _HttpError(
+                    409,
+                    "sequence_gap",
+                    f"seq {seq} skips ahead of acked seq {engine.acked_seq}; "
+                    f"replay from {engine.acked_seq + 1}",
+                )
+        limit = self._buffer_limit(job)
+        if limit is not None and engine.packets_buffered >= limit:
+            raise _HttpError(
+                429,
+                "backpressure",
+                f"job {name!r} has {engine.packets_buffered} packets buffered "
+                f"(limit {limit}); retry after the fold catches up",
+                headers={"Retry-After": "1"},
+            )
         lines = [line for line in body.split(b"\n") if line.strip()]
         if not lines:
             job.errors += 1
@@ -295,14 +407,21 @@ class ServiceDaemon:
             except BatchError as error:
                 job.errors += 1
                 raise _HttpError(400, "bad_batch", f"batch line {i}: {error}") from None
-        windows = sum(job.engine.ingest(trace) for trace in traces)
+        windows = sum(engine.ingest(trace) for trace in traces)
+        # the request folded in full; advance the acked sequence number and
+        # (maybe) checkpoint — both only ever at request boundaries, so a
+        # checkpoint can never capture a half-applied request
+        engine.acked_seq = seq if seq is not None else engine.acked_seq + 1
+        if self._checkpointer is not None:
+            self._checkpointer.maybe_checkpoint(job)
         return 200, {
             "job": job.name,
             "batches": len(traces),
+            "acked_seq": engine.acked_seq,
             "windows_folded_now": windows,
-            "windows_folded": job.engine.windows_folded,
-            "packets_buffered": job.engine.packets_buffered,
-            "alarms_raised": job.engine.alarms_raised,
+            "windows_folded": engine.windows_folded,
+            "packets_buffered": engine.packets_buffered,
+            "alarms_raised": engine.alarms_raised,
         }
 
     def _flush_one(self, name: str) -> tuple[int, dict]:
@@ -317,6 +436,10 @@ class ServiceDaemon:
         self.store.put(
             job.config_hash, payload, meta={"kind": "service_job", "job": job.name}
         )
+        if self._checkpointer is not None:
+            # every explicit flush also pins a checkpoint, so "flushed" is
+            # always a state the daemon can resume past
+            self._checkpointer.checkpoint(job)
         return 200, {"job": job.name, "stored": job.config_hash}
 
     # ------------------------------------------------------------- lifecycle
@@ -357,6 +480,11 @@ class ServiceDaemon:
         if self.store is not None:
             keys = self.registry.flush(self.store)
             _logger.info("flushed %d job result(s) on shutdown", len(keys))
+            if self._checkpointer is not None:
+                # pin a final checkpoint per job so a --resume restart of
+                # the same store starts exactly where this run stopped
+                for job in self.registry:
+                    self._checkpointer.checkpoint(job)
         _logger.info("repro serve exiting cleanly")
         return 0
 
@@ -372,17 +500,36 @@ def serve(
     port: int = 0,
     store_root: str | Path | None = None,
     max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+    max_buffered_packets: int | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_seconds: float | None = None,
+    resume: bool = False,
 ) -> int:
     """Run the daemon in the foreground until SIGTERM/SIGINT; return 0.
 
     This is the function ``repro serve`` calls: it builds the
     :class:`ServiceDaemon`, opens the :class:`ResultStore` when
-    *store_root* is given, installs signal handlers, and blocks.  On
-    SIGTERM the daemon drains in-flight requests, flushes every job's
-    result to the store, and this function returns 0.
+    *store_root* is given, installs signal handlers, and blocks.
+    *checkpoint_every* / *checkpoint_seconds* arm the periodic checkpoint
+    cadence and *resume* restores jobs from their newest valid checkpoint
+    at startup (both need *store_root*).  On SIGTERM the daemon drains
+    in-flight requests, flushes every job's result to the store,
+    checkpoints, and this function returns 0.
     """
     store = ResultStore(store_root) if store_root is not None else None
+    policy = None
+    if checkpoint_every is not None or checkpoint_seconds is not None:
+        policy = CheckpointPolicy(
+            every_batches=checkpoint_every, every_seconds=checkpoint_seconds
+        )
     daemon = ServiceDaemon(
-        configs, host=host, port=port, store=store, max_batch_bytes=max_batch_bytes
+        configs,
+        host=host,
+        port=port,
+        store=store,
+        max_batch_bytes=max_batch_bytes,
+        max_buffered_packets=max_buffered_packets,
+        checkpoint_policy=policy,
+        resume=resume,
     )
     return daemon.run(install_signal_handlers=True)

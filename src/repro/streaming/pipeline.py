@@ -455,6 +455,64 @@ class StreamAnalyzer:
             return self._merged_sketch.histograms()[quantity]
         return DegreeHistogram._from_dense_trusted(self._merged_dense[quantity])
 
+    def snapshot(self) -> dict:
+        """Exact fold state for service checkpoints.
+
+        Captures the raw Welford accumulators, totals, merged dense buffers
+        (or the merged sketch), the aggregates table, and the window count —
+        everything :meth:`update` mutates — as copies, so restoring and
+        continuing the fold is bit-identical to never having stopped.
+        Raises on ``keep_windows`` analyzers: per-window results are
+        unbounded state the checkpoint layer deliberately does not persist
+        (the service always folds with ``keep_windows=False``).
+        """
+        if self._windows is not None:
+            raise ValueError("keep_windows analyzers cannot snapshot; per-window results are not checkpointed")
+        return {
+            "n_valid": int(self.n_valid),
+            "quantities": tuple(self.quantities),
+            "mode": self.mode,
+            "n_windows": int(self._n_windows),
+            "moments": {q: self._moments[q].state() for q in self.quantities},
+            "totals": {q: int(self._totals[q]) for q in self.quantities},
+            "merged_dense": {q: arr.copy() for q, arr in self._merged_dense.items()},
+            "merged_sketch": self._merged_sketch.copy() if self._merged_sketch is not None else None,
+            "aggregates": tuple(self._aggregates) if self._aggregates is not None else None,
+        }
+
+    def restore(self, state: Mapping[str, object]) -> None:
+        """Replace the fold state with a :meth:`snapshot` payload.
+
+        The analyzer must have been constructed with the same ``n_valid``,
+        ``quantities``, and ``mode`` as the one that was snapshotted.
+        """
+        if self._windows is not None:
+            raise ValueError("keep_windows analyzers cannot restore from a snapshot")
+        if int(state["n_valid"]) != self.n_valid:
+            raise ValueError("snapshot n_valid does not match this analyzer")
+        if tuple(state["quantities"]) != self.quantities:
+            raise ValueError("snapshot quantities do not match this analyzer")
+        if state["mode"] != self.mode:
+            raise ValueError("snapshot mode does not match this analyzer")
+        self._n_windows = int(state["n_windows"])
+        self._moments = {q: StreamingMoments.from_state(state["moments"][q]) for q in self.quantities}
+        self._totals = {q: int(state["totals"][q]) for q in self.quantities}
+        if self.sketch_config is not None:
+            self._merged_dense = {}
+            sketch = state["merged_sketch"]
+            if sketch is not None and sketch.config != self.sketch_config:
+                raise ValueError("snapshot sketch was built under a different SketchConfig")
+            self._merged_sketch = sketch.copy() if sketch is not None else None
+        else:
+            self._merged_dense = {
+                q: np.asarray(state["merged_dense"][q], dtype=np.int64).copy()
+                for q in self.quantities
+            }
+            self._merged_sketch = None
+        aggregates = state["aggregates"]
+        if self._aggregates is not None:
+            self._aggregates = list(aggregates) if aggregates is not None else []
+
     def result(self, *, stats: Mapping[str, object] | None = None) -> WindowedAnalysis:
         """Finalize into a :class:`WindowedAnalysis` (raises if no windows)."""
         if self.n_windows == 0:

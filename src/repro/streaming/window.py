@@ -22,7 +22,7 @@ from typing import Iterable, Iterator, Tuple, TypeVar
 import numpy as np
 
 from repro._util.validation import check_positive_int
-from repro.streaming.packet import PacketTrace
+from repro.streaming.packet import PACKET_DTYPE, PacketTrace
 
 __all__ = [
     "iter_windows",
@@ -168,6 +168,40 @@ class PushWindower:
         self._n_buffered = int(leftover.size)
         self._valid_buffered -= (boundaries.size - 1) * self.n_valid
         return windows
+
+    def snapshot(self) -> dict:
+        """Exact buffered state for service checkpoints.
+
+        The pending parts are concatenated into one structured packet array;
+        concatenation order is push order, so a restored windower cuts the
+        same windows at the same boundaries as the original would have.
+        """
+        if self._parts:
+            packets = self._parts[0] if len(self._parts) == 1 else np.concatenate(self._parts)
+            packets = packets.copy()
+        else:
+            packets = np.empty(0, dtype=PACKET_DTYPE)
+        return {
+            "n_valid": int(self.n_valid),
+            "packets": packets,
+            "n_chunks": int(self.n_chunks),
+            "max_buffered_packets": int(self.max_buffered_packets),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace the buffered state with a :meth:`snapshot` payload."""
+        if int(state["n_valid"]) != self.n_valid:
+            raise ValueError(
+                f"windower snapshot was taken with n_valid={state['n_valid']}, "
+                f"cannot restore into n_valid={self.n_valid}"
+            )
+        trace = PacketTrace(np.asarray(state["packets"]))  # validates dtype
+        packets = trace.packets.copy()
+        self._parts = [packets] if packets.size else []
+        self._n_buffered = int(packets.size)
+        self._valid_buffered = trace.n_valid
+        self.n_chunks = int(state["n_chunks"])
+        self.max_buffered_packets = int(state["max_buffered_packets"])
 
 
 class ChunkedWindower:

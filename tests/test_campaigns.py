@@ -24,6 +24,7 @@ from repro.campaigns import (
     ResultStore,
     RunSpec,
     content_key,
+    fleet_status_rows,
     run_campaign,
     scenario_fingerprint,
 )
@@ -510,3 +511,94 @@ class TestCampaignReport:
         ResultStore(tmp_path / "store")
         with pytest.raises(KeyError, match="no campaign"):
             CampaignReport.from_store(tmp_path / "store", "nope")
+
+
+class TestCellRetries:
+    """Per-cell retry budgets: flaky analyses get re-run, attempts recorded."""
+
+    def _flaky(self, monkeypatch, failures: int):
+        """Patch the runner's analyze_scenario to fail *failures* times per run."""
+        real = runner_module.analyze_scenario
+        calls = []
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) <= failures:
+                raise RuntimeError(f"transient failure #{len(calls)}")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "analyze_scenario", flaky)
+        return calls
+
+    def test_budget_rescues_flaky_cell(self, tmp_path, monkeypatch):
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        calls = self._flaky(monkeypatch, failures=2)
+        run = run_campaign(campaign, tmp_path / "store", cell_retries=2)
+        assert run.complete and run.n_computed == 1 and run.n_failed == 0
+        assert len(calls) == 3
+        (outcome,) = run.outcomes
+        assert outcome.attempts == 3
+
+        store = ResultStore(tmp_path / "store")
+        assert store.record(outcome.key)["attempts"] == 3
+        report = CampaignReport.from_store(store, campaign.name)
+        (row,) = report.cell_rows("source_fanout")
+        assert row["attempts"] == 3 and row["status"] == "stored"
+        (status_row,) = fleet_status_rows(store, [campaign.name])
+        assert status_row["retried"] == 1 and status_row["complete"]
+
+    def test_rescued_cell_is_bit_identical_to_clean_run(self, tmp_path, monkeypatch):
+        """Retries change nothing about the stored result, only its history."""
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        run_campaign(campaign, tmp_path / "clean")
+        self._flaky(monkeypatch, failures=1)
+        run = run_campaign(campaign, tmp_path / "flaky", cell_retries=1)
+        key = run.outcomes[0].key
+        clean = ResultStore(tmp_path / "clean").get(key)
+        rescued = ResultStore(tmp_path / "flaky").get(key)
+        a = clean.analysis.pooled("source_fanout")
+        b = rescued.analysis.pooled("source_fanout")
+        assert a.values.tobytes() == b.values.tobytes()
+        assert a.sigma.tobytes() == b.sigma.tobytes()
+
+    def test_zero_budget_fails_on_first_error(self, tmp_path, monkeypatch):
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        calls = self._flaky(monkeypatch, failures=99)
+        run = run_campaign(campaign, tmp_path / "store")
+        assert run.n_failed == 1 and len(calls) == 1
+        (outcome,) = run.outcomes
+        assert outcome.attempts == 1 and "transient failure #1" in outcome.error
+
+    def test_exhausted_budget_reports_final_attempt_count(self, tmp_path, monkeypatch):
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        calls = self._flaky(monkeypatch, failures=99)
+        run = run_campaign(campaign, tmp_path / "store", cell_retries=2)
+        assert run.n_failed == 1 and len(calls) == 3
+        (outcome,) = run.outcomes
+        assert outcome.attempts == 3 and "transient failure #3" in outcome.error
+        # nothing was stored, so nothing was retried from the store's view
+        (status_row,) = fleet_status_rows(
+            ResultStore(tmp_path / "store"), [campaign.name]
+        )
+        assert status_row["retried"] == 0 and not status_row["complete"]
+
+    def test_retry_attempts_logged_as_warnings(self, tmp_path, monkeypatch, caplog):
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        self._flaky(monkeypatch, failures=1)
+        with caplog.at_level("WARNING", logger="repro"):
+            run_campaign(campaign, tmp_path / "store", cell_retries=1)
+        assert any("retrying" in record.message for record in caplog.records)
+
+    def test_negative_budget_rejected(self, tmp_path):
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        with pytest.raises(ValueError, match="cell_retries"):
+            run_campaign(campaign, tmp_path / "store", cell_retries=-1)
+
+    def test_cached_cells_keep_their_recorded_attempts(self, tmp_path, monkeypatch):
+        """A warm re-run reports the attempts recorded when the cell was computed."""
+        campaign = tiny_campaign(seeds=(0,), scenarios=(TINY_FLAT,))
+        self._flaky(monkeypatch, failures=2)
+        run_campaign(campaign, tmp_path / "store", cell_retries=2)
+        warm = run_campaign(campaign, tmp_path / "store")
+        (outcome,) = warm.outcomes
+        assert outcome.status == "cached" and outcome.attempts == 3

@@ -26,7 +26,7 @@ import threading
 import pytest
 
 from repro.campaigns.store import ResultStore
-from repro.service import JobConfig, ServiceDaemon
+from repro.service import CheckpointPolicy, JobConfig, ServiceDaemon
 
 N_VALID = 100
 JOB = "faulty"
@@ -44,11 +44,24 @@ def _batch_line(n_packets: int, start: int = 0) -> str:
 class _DaemonHarness:
     """One resident daemon plus an HTTP helper; shared by every test."""
 
-    def __init__(self, store_root) -> None:
-        config = JobConfig.from_dict({"name": JOB, "window": {"n_valid": N_VALID}})
+    def __init__(
+        self,
+        store_root,
+        *,
+        config_data: dict | None = None,
+        checkpoint_every: int | None = None,
+        **daemon_kwargs,
+    ) -> None:
+        config = JobConfig.from_dict(
+            config_data or {"name": JOB, "window": {"n_valid": N_VALID}}
+        )
         self.store = ResultStore(store_root)
+        if checkpoint_every is not None:
+            daemon_kwargs["checkpoint_policy"] = CheckpointPolicy(
+                every_batches=checkpoint_every
+            )
         self.daemon = ServiceDaemon(
-            [config], store=self.store, max_batch_bytes=64 * 1024
+            [config], store=self.store, max_batch_bytes=64 * 1024, **daemon_kwargs
         )
         self.thread = threading.Thread(target=self.daemon.run, daemon=True)
         self.thread.start()
@@ -56,11 +69,23 @@ class _DaemonHarness:
         self.port = self.daemon.port
 
     def request(self, method: str, path: str, body: str | None = None):
+        status, parsed, _headers = self.request_full(method, path, body)
+        return status, parsed
+
+    def request_full(self, method: str, path: str, body: str | None = None):
+        """Like :meth:`request` but also returns the lower-cased response headers."""
         conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
         try:
-            conn.request(method, path, body=body)
+            try:
+                conn.request(method, path, body=body)
+            except BrokenPipeError:
+                # the daemon already responded (e.g. a 413 for an oversized
+                # body) and closed its end before reading everything we
+                # sent; the response is waiting in the socket buffer
+                pass
             response = conn.getresponse()
-            return response.status, json.loads(response.read().decode("utf-8"))
+            headers = {name.lower(): value for name, value in response.getheaders()}
+            return response.status, json.loads(response.read().decode("utf-8")), headers
         finally:
             conn.close()
 
@@ -212,3 +237,190 @@ class TestFaultContainment:
         status, root = daemon.request("GET", "/status")
         assert root["requests_failed"] > 0
         assert root["jobs"][0]["windows_folded"] > 0
+
+
+class TestCheckpointFaults:
+    """Checkpoint-era injections: corruption, empty resume, replay, write failure.
+
+    Each case runs its own short-lived daemon (restarts are the point here,
+    unlike the module-scoped survivor above).
+    """
+
+    def test_resume_on_empty_store_is_cold_start(self, tmp_path):
+        harness = _DaemonHarness(tmp_path / "store", resume=True, checkpoint_every=1)
+        try:
+            status, body = harness.request("GET", f"/status/{JOB}")
+            assert status == 200
+            assert body["resumed_from_seq"] is None
+            assert body["windows_folded"] == 0
+            harness.assert_fold_advances()
+        finally:
+            harness.shutdown()
+
+    def test_duplicate_replay_of_acked_batch_is_noop(self, tmp_path):
+        harness = _DaemonHarness(tmp_path / "store", checkpoint_every=1)
+        try:
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=1", _batch_line(N_VALID) + "\n"
+            )
+            assert status == 200
+            assert body["acked_seq"] == 1 and body["windows_folded"] == 1
+            # replaying seq=1 must ack without folding anything again
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=1", _batch_line(N_VALID) + "\n"
+            )
+            assert status == 200
+            assert body["duplicate"] is True
+            assert body["windows_folded_now"] == 0
+            assert body["windows_folded"] == 1
+            assert body["acked_seq"] == 1
+        finally:
+            harness.shutdown()
+
+    def test_sequence_gap_rejected(self, tmp_path):
+        harness = _DaemonHarness(tmp_path / "store")
+        try:
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=5", _batch_line(N_VALID) + "\n"
+            )
+            _assert_structured_error(status, body, "sequence_gap")
+            assert status == 409
+            assert harness.windows_folded() == 0
+            harness.assert_fold_advances()
+        finally:
+            harness.shutdown()
+
+    def test_bad_seq_rejected(self, tmp_path):
+        harness = _DaemonHarness(tmp_path / "store")
+        try:
+            for bad in ("0", "-3", "nope"):
+                status, body = harness.request(
+                    "POST", f"/ingest/{JOB}?seq={bad}", _batch_line(N_VALID) + "\n"
+                )
+                _assert_structured_error(status, body, "bad_seq")
+            harness.assert_fold_advances()
+        finally:
+            harness.shutdown()
+
+    def test_backpressure_429_with_retry_after(self, tmp_path):
+        store_root = tmp_path / "store"
+        harness = _DaemonHarness(store_root, max_buffered_packets=30)
+        try:
+            # 50 packets buffer without completing a window (N_VALID = 100)
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=1", _batch_line(50) + "\n"
+            )
+            assert status == 200 and body["packets_buffered"] == 50
+            status, body, headers = harness.request_full(
+                "POST", f"/ingest/{JOB}", _batch_line(10) + "\n"
+            )
+            _assert_structured_error(status, body, "backpressure")
+            assert status == 429
+            assert headers.get("retry-after") == "1"
+            # the rejected batch touched nothing
+            assert harness.request("GET", f"/status/{JOB}")[1]["packets_buffered"] == 50
+            # a duplicate replay must still be acked even under pressure
+            # (crash recovery has to drain the acked prefix first)
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=1", _batch_line(50) + "\n"
+            )
+            assert status == 200 and body["duplicate"] is True
+        finally:
+            harness.shutdown()
+        # operator recovery: restart without the (too-tight) limit and
+        # --resume; the restored buffer plus the next batch complete the
+        # window — nothing the cap rejected was lost
+        revived = _DaemonHarness(store_root, resume=True)
+        try:
+            status, body = revived.request("GET", f"/status/{JOB}")
+            assert body["resumed_from_seq"] == 1
+            assert body["packets_buffered"] == 50
+            status, body = revived.request(
+                "POST", f"/ingest/{JOB}?seq=2", _batch_line(50, start=50) + "\n"
+            )
+            assert status == 200 and body["windows_folded_now"] == 1
+        finally:
+            revived.shutdown()
+
+    def test_job_config_limit_overrides_daemon_default(self, tmp_path):
+        harness = _DaemonHarness(
+            tmp_path / "store",
+            config_data={
+                "name": JOB,
+                "window": {"n_valid": N_VALID},
+                "limits": {"max_buffered_packets": 20},
+            },
+            max_buffered_packets=10_000,
+        )
+        try:
+            status, _body = harness.request("POST", f"/ingest/{JOB}", _batch_line(25) + "\n")
+            assert status == 200
+            status, body = harness.request("POST", f"/ingest/{JOB}", _batch_line(5) + "\n")
+            _assert_structured_error(status, body, "backpressure")
+        finally:
+            harness.shutdown()
+
+    def test_corrupted_checkpoint_falls_back_a_generation(self, tmp_path, caplog):
+        store_root = tmp_path / "store"
+        harness = _DaemonHarness(store_root, checkpoint_every=1)
+        try:
+            for seq in (1, 2, 3):
+                status, body = harness.request(
+                    "POST", f"/ingest/{JOB}?seq={seq}", _batch_line(N_VALID) + "\n"
+                )
+                assert status == 200 and body["acked_seq"] == seq
+            key = harness.daemon.registry.get(JOB).config_hash
+        finally:
+            harness.shutdown()
+        # tear the newest checkpoint generation's payload on disk
+        seqs = harness.store.checkpoint_seqs(key)
+        assert seqs and seqs[-1] == 3
+        payload_path, _record_path = harness.store._checkpoint_paths(key, seqs[-1])
+        payload_path.write_bytes(payload_path.read_bytes()[:10])
+        with caplog.at_level("WARNING", logger="repro"):
+            revived = _DaemonHarness(store_root, resume=True, checkpoint_every=1)
+        try:
+            assert any("checkpoint" in record.message for record in caplog.records)
+            status, body = revived.request("GET", f"/status/{JOB}")
+            # the torn generation was skipped; the previous one restored
+            assert body["resumed_from_seq"] == 2
+            assert body["windows_folded"] == 2
+            # replay: seq 1-2 are acked no-ops, seq 3 folds the third window
+            for seq, folded in ((1, 0), (2, 0), (3, 1)):
+                status, body = revived.request(
+                    "POST", f"/ingest/{JOB}?seq={seq}", _batch_line(N_VALID) + "\n"
+                )
+                assert status == 200
+                assert body["windows_folded_now"] == folded
+            assert revived.windows_folded() == 3
+        finally:
+            revived.shutdown()
+
+    def test_checkpoint_write_failure_contained(self, tmp_path):
+        harness = _DaemonHarness(tmp_path / "store", checkpoint_every=1)
+        try:
+            def _refuse(*args, **kwargs):
+                raise OSError("disk full (injected)")
+
+            harness.store.put_checkpoint = _refuse  # instance shadow, class intact
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=1", _batch_line(N_VALID) + "\n"
+            )
+            # the ingest itself succeeded; only durability degraded
+            assert status == 200 and body["windows_folded"] == 1
+            status, body = harness.request("GET", f"/status/{JOB}")
+            assert body["checkpoint_failures"] == 1
+            assert body["checkpoints_written"] == 0
+            # heal the store: the next cadence point retries and succeeds
+            del harness.store.put_checkpoint
+            status, body = harness.request(
+                "POST", f"/ingest/{JOB}?seq=2", _batch_line(N_VALID) + "\n"
+            )
+            assert status == 200
+            status, body = harness.request("GET", f"/status/{JOB}")
+            assert body["checkpoints_written"] == 1
+            key = harness.daemon.registry.get(JOB).config_hash
+            found = harness.store.latest_checkpoint(key)
+            assert found is not None and found[0] == 2
+        finally:
+            harness.shutdown()
